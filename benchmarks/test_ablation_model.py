@@ -1,0 +1,51 @@
+"""Ablation — architecture/transfer model strictness (DESIGN.md §5).
+
+Three mapper variants on the same kernel and fabric:
+
+* relaxed (default): consumers read the producer's register file, register
+  allocation accounts for liveness;
+* strict output-register model: the paper's Equation-5 survival clauses;
+* the paper's "at most one iteration apart" literal-pair restriction.
+
+Stricter models can only keep the II equal or push it up; the bench records
+the achieved II and mapping time of each variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.kernels import get_kernel
+
+_KERNEL = "srand"
+_SIZE = 2
+
+_VARIANTS = {
+    "relaxed-default": MapperConfig(timeout=60),
+    "strict-output-register": MapperConfig(
+        timeout=60, enforce_output_register=True, neighbour_register_file_access=False
+    ),
+    "paper-iteration-span-1": MapperConfig(timeout=60, max_iteration_span=1),
+}
+
+
+@pytest.mark.parametrize("variant", list(_VARIANTS))
+def test_transfer_model_ablation(benchmark, variant):
+    config = _VARIANTS[variant]
+    outcome = benchmark.pedantic(
+        SatMapItMapper(config).map,
+        args=(get_kernel(_KERNEL), CGRA.square(_SIZE)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["ii"] = outcome.ii
+    benchmark.extra_info["status"] = outcome.final_status
+    assert outcome.success
+
+    baseline = SatMapItMapper(_VARIANTS["relaxed-default"]).map(
+        get_kernel(_KERNEL), CGRA.square(_SIZE)
+    )
+    assert outcome.ii >= baseline.ii

@@ -1,0 +1,31 @@
+"""Figure 6 — achieved II per benchmark and mesh size (SAT-MapIt side).
+
+Every benchmark item maps one kernel on one mesh with SAT-MapIt and reports
+the wall-clock mapping time (the quantity Tables I–IV track); the achieved II
+is recorded in the collector and rendered as the Figure-6 panels at the end of
+the session.  The paper's shape is asserted per item: whenever the run
+completes, the II is at least the MII bound and the mapping is legal by
+construction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SAT_MAPIT
+
+
+def test_satmapit_ii(benchmark, collector, bench_kernel, bench_size):
+    record = benchmark.pedantic(
+        collector.run, args=(bench_kernel, bench_size, SAT_MAPIT),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["kernel"] = bench_kernel
+    benchmark.extra_info["mesh"] = f"{bench_size}x{bench_size}"
+    benchmark.extra_info["status"] = record.status
+    benchmark.extra_info["ii"] = record.ii
+    benchmark.extra_info["mii"] = record.minimum_ii
+    if record.succeeded:
+        assert record.ii >= record.minimum_ii
+    else:
+        # Large kernels on large meshes may exhaust the scaled-down budget;
+        # that is reported (the paper's own protocol also contains timeouts).
+        assert record.status in ("timeout", "failed")

@@ -1,0 +1,30 @@
+"""Scalability sweep — encoding size and mapping time vs DFG size.
+
+Not a figure of the paper, but the ablation DESIGN.md calls for: how the CNF
+size and the SAT mapping time grow with the kernel size (layered synthetic
+DFGs) on a fixed 4x4 fabric.  Useful for spotting regressions in the encoder
+or solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.kernels.generators import random_layered_dfg
+
+_SHAPES = [(3, 3), (4, 4), (5, 4), (6, 5)]  # (layers, width)
+
+
+@pytest.mark.parametrize("layers,width", _SHAPES)
+def test_mapping_time_vs_dfg_size(benchmark, layers, width):
+    dfg = random_layered_dfg(num_layers=layers, width=width, seed=42)
+    cgra = CGRA.square(4)
+    mapper = SatMapItMapper(MapperConfig(timeout=60))
+    outcome = benchmark.pedantic(mapper.map, args=(dfg, cgra), rounds=1, iterations=1)
+    benchmark.extra_info["nodes"] = dfg.num_nodes
+    benchmark.extra_info["ii"] = outcome.ii
+    benchmark.extra_info["status"] = outcome.final_status
+    if outcome.success:
+        assert outcome.mapping.violations() == []

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare SAT-MapIt with the RAMP / PathSeeker baselines (paper Figure 6).
+
+Maps a selection of the MiBench/Rodinia benchmark kernels onto 2x2 and 3x3
+meshes with all three mappers and prints the achieved IIs and mapping times —
+a miniature version of the paper's evaluation (the full protocol lives in
+``benchmarks/`` and ``python -m repro.cli sweep``).
+
+Run with::
+
+    python examples/benchmark_comparison.py [--kernels sha gsm ...] [--sizes 2 3]
+"""
+
+import argparse
+
+from repro import CGRA, MapperConfig, SatMapItMapper
+from repro.baselines import BaselineConfig, PathSeekerMapper, RampMapper
+from repro.kernels import all_kernel_names, get_kernel
+
+
+def run(kernels: list[str], sizes: list[int], timeout: float) -> None:
+    print(f"{'kernel':13s} {'mesh':5s} {'nodes':>5s} "
+          f"{'SAT-MapIt':>12s} {'RAMP':>12s} {'PathSeeker':>12s}")
+    wins = 0
+    comparisons = 0
+    for name in kernels:
+        dfg = get_kernel(name)
+        for size in sizes:
+            cgra = CGRA.square(size)
+            results = {}
+            results["SAT-MapIt"] = SatMapItMapper(MapperConfig(timeout=timeout)).map(dfg, cgra)
+            results["RAMP"] = RampMapper(BaselineConfig(timeout=timeout)).map(dfg, cgra)
+            results["PathSeeker"] = PathSeekerMapper(BaselineConfig(timeout=timeout)).map(dfg, cgra)
+
+            def cell(outcome):
+                if outcome.success:
+                    return f"II={outcome.ii} {outcome.total_time:5.1f}s"
+                return f"{outcome.final_status:>7s}"
+
+            print(f"{name:13s} {size}x{size:<3d} {dfg.num_nodes:5d} "
+                  f"{cell(results['SAT-MapIt']):>12s} {cell(results['RAMP']):>12s} "
+                  f"{cell(results['PathSeeker']):>12s}")
+
+            sat = results["SAT-MapIt"]
+            best_soa = min(
+                (o.ii for o in (results["RAMP"], results["PathSeeker"]) if o.success),
+                default=None,
+            )
+            if sat.success:
+                comparisons += 1
+                if best_soa is None or sat.ii < best_soa:
+                    wins += 1
+    if comparisons:
+        print()
+        print(f"SAT-MapIt strictly better on {wins}/{comparisons} pairs "
+              f"({wins / comparisons:.1%}; the paper reports 47.72% over 44 pairs)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+", default=["srand", "basicmath", "nw", "stringsearch"],
+                        choices=all_kernel_names())
+    parser.add_argument("--sizes", nargs="+", type=int, default=[2, 3])
+    parser.add_argument("--timeout", type=float, default=60.0)
+    args = parser.parse_args()
+    run(args.kernels, args.sizes, args.timeout)
+
+
+if __name__ == "__main__":
+    main()

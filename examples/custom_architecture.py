@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-space exploration over CGRA architecture parameters.
+
+Maps one kernel (a Sobel-like 3-tap stencil written in the loop language)
+across a grid of architecture variants — mesh size, interconnect topology and
+register-file size — and reports how the achievable II changes.  This is the
+kind of question a CGRA architect would use the mapper for: how much fabric
+does this loop actually need?
+
+Run with::
+
+    python examples/custom_architecture.py
+"""
+
+from repro import CGRA, MapperConfig, SatMapItMapper, compile_loop
+from repro.cgra.topology import Topology
+from repro.dfg.analysis import minimum_initiation_interval
+
+STENCIL = """
+left = pixels[i]
+centre = pixels[i + 1]
+right = pixels[i + 2]
+grad = (right - left) * 2 + (centre >> 1)
+clamped = grad > 255 ? 255 : grad
+acc = acc + clamped
+out[i] = clamped
+"""
+
+
+def explore() -> None:
+    dfg = compile_loop(STENCIL, name="sobel_row")
+    print(f"kernel: {dfg}")
+    mapper = SatMapItMapper(MapperConfig(timeout=90))
+
+    print()
+    print("mesh size sweep (4 registers/PE, mesh interconnect)")
+    print(f"{'fabric':10s} {'MII':>4s} {'II':>4s} {'time [s]':>9s} {'utilisation':>12s}")
+    for size in (2, 3, 4, 5):
+        cgra = CGRA.square(size)
+        outcome = mapper.map(dfg, cgra)
+        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        ii = outcome.ii if outcome.success else "-"
+        utilisation = (
+            f"{outcome.mapping.pe_utilisation():.0%}" if outcome.success else "-"
+        )
+        print(f"{size}x{size:<8d} {mii:4d} {ii!s:>4s} {outcome.total_time:9.2f} "
+              f"{utilisation:>12s}")
+
+    print()
+    print("interconnect sweep on a 3x3 fabric")
+    for topology in (Topology.MESH, Topology.TORUS, Topology.DIAGONAL, Topology.FULL):
+        cgra = CGRA(rows=3, cols=3, topology=topology)
+        outcome = mapper.map(dfg, cgra)
+        ii = outcome.ii if outcome.success else "-"
+        print(f"  {topology.value:9s} II={ii} ({outcome.total_time:.2f}s)")
+
+    print()
+    print("register file sweep on a 3x3 mesh")
+    for registers in (1, 2, 4, 8):
+        cgra = CGRA.square(3, registers_per_pe=registers)
+        outcome = mapper.map(dfg, cgra)
+        ii = outcome.ii if outcome.success else "-"
+        pressure = (
+            outcome.register_allocation.max_pressure
+            if outcome.register_allocation is not None
+            else "-"
+        )
+        print(f"  {registers} registers/PE: II={ii} (max pressure {pressure})")
+
+
+if __name__ == "__main__":
+    explore()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The build environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (which require building a
+wheel) are not available.  Keeping a classic ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""SAT-MapIt reproduction: a SAT-based modulo scheduling mapper for CGRAs.
+
+The package reproduces the system described in "SAT-MapIt: A SAT-based Modulo
+Scheduling Mapper for Coarse Grain Reconfigurable Architectures" (DATE 2023).
+
+High-level entry points:
+
+* :class:`repro.core.mapper.SatMapItMapper` — the SAT-based mapper (paper
+  contribution).
+* :mod:`repro.baselines` — heuristic baseline mappers in the spirit of RAMP
+  and PathSeeker.
+* :mod:`repro.kernels` — the benchmark loop-kernel suite used by the paper's
+  evaluation.
+* :mod:`repro.experiments` — the harness that regenerates Figure 6 and
+  Tables I–IV.
+"""
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
+from repro.dfg.graph import DFG, DFGEdge, DFGNode, Opcode
+from repro.frontend import compile_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGRA",
+    "DFG",
+    "DFGEdge",
+    "DFGNode",
+    "Opcode",
+    "SatMapItMapper",
+    "MapperConfig",
+    "MappingOutcome",
+    "compile_loop",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Heuristic baseline mappers.
+
+The paper compares SAT-MapIt against RAMP (Dave et al., DAC 2018) and
+PathSeeker (Balasubramanian & Shrivastava, DATE 2022), using the authors'
+binaries.  Those binaries are not redistributable, so this package
+re-implements the two algorithmic families on top of the same DFG / CGRA /
+Mapping substrate:
+
+* :class:`~repro.baselines.ramp.RampMapper` — deterministic iterative modulo
+  scheduling with height-based priorities, resource-aware placement and a
+  small set of retry strategies per II.
+* :class:`~repro.baselines.pathseeker.PathSeekerMapper` — randomised iterative
+  modulo scheduling with failure-driven local adjustments and multiple
+  restarts per II.
+* :class:`~repro.baselines.exhaustive.ExhaustiveMapper` — brute-force oracle
+  for tiny instances, used by the test-suite to certify optimal IIs.
+
+All mappers share the interface of
+:class:`repro.core.mapper.SatMapItMapper` (``map(dfg, cgra) ->
+MappingOutcome``) and produce mappings that are checked by the same legality
+rules, so the comparison in the experiment harness is apples-to-apples.
+"""
+
+from repro.baselines.base import BaselineConfig, HeuristicMapper
+from repro.baselines.exhaustive import ExhaustiveMapper
+from repro.baselines.pathseeker import PathSeekerMapper
+from repro.baselines.ramp import RampMapper
+
+__all__ = [
+    "BaselineConfig",
+    "HeuristicMapper",
+    "RampMapper",
+    "PathSeekerMapper",
+    "ExhaustiveMapper",
+]

@@ -1,0 +1,153 @@
+"""Exhaustive mapping oracle for tiny instances.
+
+Enumerates every assignment of nodes to (PE, flat time) positions within a
+bounded schedule, in increasing II order, and returns the first legal mapping.
+Exponential, therefore only usable for DFGs of a handful of nodes — which is
+exactly what the test-suite needs: an independent certificate that the SAT
+mapper's II is optimal under the same legality rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import IIAttempt, MappingOutcome
+from repro.core.mapping import Mapping
+from repro.core.regalloc import allocate_registers
+from repro.dfg.analysis import critical_path_length, minimum_initiation_interval
+from repro.dfg.graph import DFG
+from repro.exceptions import MappingError
+
+
+class ExhaustiveMapper:
+    """Brute-force optimal mapper (oracle for tests and tiny examples)."""
+
+    name = "Exhaustive"
+
+    def __init__(
+        self,
+        max_nodes: int = 8,
+        max_ii: int = 8,
+        schedule_slack: int = 1,
+        timeout: float | None = None,
+        enforce_output_register: bool = True,
+        run_register_allocation: bool = True,
+    ) -> None:
+        self.max_nodes = max_nodes
+        self.max_ii = max_ii
+        self.schedule_slack = schedule_slack
+        self.timeout = timeout
+        self.enforce_output_register = enforce_output_register
+        self.run_register_allocation = run_register_allocation
+
+    def map(self, dfg: DFG, cgra: CGRA, start_ii: int | None = None) -> MappingOutcome:
+        """Enumerate placements in increasing II order."""
+        if dfg.num_nodes > self.max_nodes:
+            raise MappingError(
+                f"exhaustive mapper limited to {self.max_nodes} nodes, "
+                f"got {dfg.num_nodes}"
+            )
+        dfg.validate()
+        start = time.perf_counter()
+        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        outcome = MappingOutcome(
+            success=False, dfg_name=dfg.name, cgra_name=cgra.name, minimum_ii=mii
+        )
+        first_ii = max(start_ii or mii, 1)
+        for ii in range(first_ii, self.max_ii + 1):
+            attempt = IIAttempt(ii=ii, schedule_slack=self.schedule_slack, status="UNSAT")
+            outcome.attempts.append(attempt)
+            solve_start = time.perf_counter()
+            mapping = self._search_ii(dfg, cgra, ii, start)
+            attempt.solve_time = time.perf_counter() - solve_start
+            if mapping is None:
+                if self._out_of_time(start):
+                    attempt.status = "UNKNOWN"
+                    outcome.timed_out = True
+                    break
+                continue
+            allocation = None
+            if self.run_register_allocation:
+                allocation = allocate_registers(dfg, cgra, mapping)
+                if not allocation.success:
+                    attempt.status = "REGALLOC_FAIL"
+                    continue
+                mapping.registers = dict(allocation.assignment)
+            attempt.status = "SAT"
+            outcome.success = True
+            outcome.ii = ii
+            outcome.mapping = mapping
+            outcome.register_allocation = allocation
+            break
+        outcome.total_time = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _search_ii(self, dfg: DFG, cgra: CGRA, ii: int, start: float) -> Mapping | None:
+        """Depth-first enumeration with incremental pruning."""
+        length = max(critical_path_length(dfg) + self.schedule_slack, ii)
+        positions = [
+            (pe, flat) for flat in range(length) for pe in range(cgra.num_pes)
+        ]
+        node_ids = dfg.node_ids
+        assignment: dict[int, tuple[int, int]] = {}
+        occupied: set[tuple[int, int]] = set()
+
+        def compatible(node_id: int, pe: int, flat: int) -> bool:
+            for edge in itertools.chain(dfg.predecessors(node_id), dfg.successors(node_id)):
+                other = edge.src if edge.dst == node_id else edge.dst
+                if other == node_id or other not in assignment:
+                    continue
+                other_pe, other_flat = assignment[other]
+                if edge.dst == node_id:
+                    src_pe, src_flat, dst_pe, dst_flat = other_pe, other_flat, pe, flat
+                else:
+                    src_pe, src_flat, dst_pe, dst_flat = pe, flat, other_pe, other_flat
+                if not cgra.are_neighbours(src_pe, dst_pe, include_self=True):
+                    return False
+                consumed = dst_flat + edge.distance * ii
+                if consumed < src_flat + dfg.node(edge.src).latency:
+                    return False
+            return True
+
+        # The DFS prunes on neighbourhood, timing and slot exclusivity; the
+        # remaining rules (output-register survival, register pressure) are
+        # only decidable on complete candidates and are checked at the leaves.
+        found: list[Mapping] = []
+
+        def search(index: int) -> bool:
+            if self._out_of_time(start):
+                return False
+            if index == len(node_ids):
+                mapping = Mapping(dfg=dfg, cgra=cgra, ii=ii)
+                for nid, (pe, flat) in assignment.items():
+                    mapping.place(nid, pe, flat % ii, flat // ii)
+                if mapping.violations(check_overwrite=self.enforce_output_register):
+                    return False
+                if self.run_register_allocation and not allocate_registers(
+                    dfg, cgra, mapping
+                ).success:
+                    return False
+                found.append(mapping)
+                return True
+            node_id = node_ids[index]
+            for pe, flat in positions:
+                if (pe, flat % ii) in occupied:
+                    continue
+                if not compatible(node_id, pe, flat):
+                    continue
+                assignment[node_id] = (pe, flat)
+                occupied.add((pe, flat % ii))
+                if search(index + 1):
+                    return True
+                del assignment[node_id]
+                occupied.discard((pe, flat % ii))
+            return False
+
+        search(0)
+        return found[0] if found else None
+
+    def _out_of_time(self, start: float) -> bool:
+        return self.timeout is not None and (time.perf_counter() - start) >= self.timeout

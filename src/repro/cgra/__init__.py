@@ -1,0 +1,13 @@
+"""CGRA architecture model.
+
+The target machine of the paper is a 2D mesh of processing elements (PEs),
+each with an ALU and a small local register file, connected to its nearest
+neighbours (Figure 1).  :class:`~repro.cgra.architecture.CGRA` captures the
+parameters the mapper needs: grid shape, register count per PE, and the
+interconnect topology (which PEs can exchange a value in one cycle).
+"""
+
+from repro.cgra.architecture import CGRA, PE
+from repro.cgra.topology import Topology, neighbourhood
+
+__all__ = ["CGRA", "PE", "Topology", "neighbourhood"]

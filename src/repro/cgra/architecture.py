@@ -1,0 +1,201 @@
+"""CGRA architecture description.
+
+The :class:`CGRA` class models the paper's target fabric: an ``R x C`` grid of
+identical processing elements, each holding a small local register file, with
+a near-neighbour interconnect.  PEs are identified both by a linear index
+(row-major, which is what the SAT encoding uses as the ``p`` coordinate of a
+literal) and by their ``(row, col)`` position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cgra.topology import Position, Topology, manhattan_distance, neighbourhood
+from repro.exceptions import ArchitectureError
+
+
+@dataclass(frozen=True)
+class PE:
+    """A single processing element."""
+
+    index: int
+    row: int
+    col: int
+    num_registers: int
+
+    @property
+    def position(self) -> Position:
+        return (self.row, self.col)
+
+    @property
+    def name(self) -> str:
+        return f"PE[{self.row},{self.col}]"
+
+
+@dataclass(frozen=True)
+class CGRA:
+    """A coarse-grain reconfigurable array.
+
+    Parameters mirror the experimental setup of the paper: meshes from 2x2 to
+    5x5, four local registers per PE and a 4-nearest-neighbour interconnect.
+    """
+
+    rows: int = 4
+    cols: int = 4
+    registers_per_pe: int = 4
+    topology: Topology = Topology.MESH
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ArchitectureError(
+                f"CGRA must have at least one row and column, got {self.rows}x{self.cols}"
+            )
+        if self.registers_per_pe < 1:
+            raise ArchitectureError(
+                f"each PE needs at least one register, got {self.registers_per_pe}"
+            )
+        object.__setattr__(self, "topology", Topology(self.topology))
+        if not self.name:
+            object.__setattr__(self, "name", f"cgra_{self.rows}x{self.cols}")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements."""
+        return self.rows * self.cols
+
+    @cached_property
+    def pes(self) -> tuple[PE, ...]:
+        """All PEs in row-major order."""
+        return tuple(
+            PE(self.pe_index((row, col)), row, col, self.registers_per_pe)
+            for row in range(self.rows)
+            for col in range(self.cols)
+        )
+
+    def pe(self, index: int) -> PE:
+        """Look up a PE by linear index."""
+        if not 0 <= index < self.num_pes:
+            raise ArchitectureError(
+                f"PE index {index} out of range for {self.rows}x{self.cols} CGRA"
+            )
+        return self.pes[index]
+
+    def pe_index(self, position: Position) -> int:
+        """Linear (row-major) index of the PE at ``position``."""
+        row, col = position
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ArchitectureError(
+                f"position {position} outside a {self.rows}x{self.cols} grid"
+            )
+        return row * self.cols + col
+
+    def pe_position(self, index: int) -> Position:
+        """Grid position of PE ``index``."""
+        return (self.pe(index).row, self.pe(index).col)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    @cached_property
+    def _neighbour_table(self) -> dict[int, tuple[int, ...]]:
+        table: dict[int, tuple[int, ...]] = {}
+        for pe in self.pes:
+            positions = neighbourhood(
+                pe.position, self.rows, self.cols, self.topology, include_self=True
+            )
+            table[pe.index] = tuple(self.pe_index(pos) for pos in positions)
+        return table
+
+    def neighbours(self, index: int, include_self: bool = True) -> tuple[int, ...]:
+        """PE indices that can receive a value from PE ``index`` in one hop."""
+        result = self._neighbour_table[self.pe(index).index]
+        if include_self:
+            return result
+        return tuple(pe for pe in result if pe != index)
+
+    def are_neighbours(self, a: int, b: int, include_self: bool = True) -> bool:
+        """Whether PE ``b`` can consume a value produced on PE ``a``."""
+        if a == b:
+            return include_self
+        return b in self._neighbour_table[self.pe(a).index]
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance between two PEs (hop-count lower bound)."""
+        return manhattan_distance(self.pe_position(a), self.pe_position(b))
+
+    # ------------------------------------------------------------------
+    # Symmetries
+    # ------------------------------------------------------------------
+    @cached_property
+    def symmetries(self) -> tuple[tuple[int, ...], ...]:
+        """Grid automorphisms as PE-index permutations.
+
+        For a square grid the dihedral group of the square (8 elements), for a
+        rectangular grid the subgroup without 90-degree rotations (4
+        elements), and for the idealised full crossbar every PE is equivalent
+        (handled separately by :meth:`symmetry_fundamental_domain`).  Every
+        permutation returned maps neighbours to neighbours, so applying it to
+        a legal mapping yields another legal mapping.
+        """
+        rows, cols = self.rows, self.cols
+        transforms: list[tuple[int, ...]] = []
+
+        def add(transform) -> None:
+            permutation = tuple(
+                self.pe_index(transform(self.pe_position(index)))
+                for index in range(self.num_pes)
+            )
+            if permutation not in transforms:
+                transforms.append(permutation)
+
+        add(lambda pos: pos)
+        add(lambda pos: (rows - 1 - pos[0], pos[1]))
+        add(lambda pos: (pos[0], cols - 1 - pos[1]))
+        add(lambda pos: (rows - 1 - pos[0], cols - 1 - pos[1]))
+        if rows == cols:
+            add(lambda pos: (pos[1], pos[0]))
+            add(lambda pos: (cols - 1 - pos[1], pos[0]))
+            add(lambda pos: (pos[1], rows - 1 - pos[0]))
+            add(lambda pos: (cols - 1 - pos[1], rows - 1 - pos[0]))
+        return tuple(transforms)
+
+    def symmetry_fundamental_domain(self) -> tuple[int, ...]:
+        """A minimal set of PEs intersecting every symmetry orbit.
+
+        Restricting a single (anchor) node to these PEs is a sound
+        symmetry-breaking constraint: any legal mapping can be transformed by
+        a grid automorphism so that the anchor lands inside the domain.
+        """
+        if self.topology is Topology.FULL:
+            return (0,)
+        canonical: set[int] = set()
+        for pe in range(self.num_pes):
+            canonical.add(min(permutation[pe] for permutation in self.symmetries))
+        return tuple(sorted(canonical))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-paragraph human readable description."""
+        return (
+            f"{self.rows}x{self.cols} CGRA ({self.num_pes} PEs), "
+            f"{self.registers_per_pe} registers per PE, "
+            f"{self.topology.value} interconnect"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    @classmethod
+    def square(cls, size: int, registers_per_pe: int = 4,
+               topology: Topology | str = Topology.MESH) -> "CGRA":
+        """Build the square meshes used throughout the paper (2x2 … 5x5)."""
+        return cls(rows=size, cols=size, registers_per_pe=registers_per_pe,
+                   topology=Topology(topology))

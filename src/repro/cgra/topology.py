@@ -1,0 +1,72 @@
+"""Interconnect topologies for 2D CGRA meshes.
+
+A topology answers one question for the mapper: given a PE position, which
+PE positions can receive its output within one cycle?  All topologies include
+the PE itself (a value can always stay local through the PE's register file).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import ArchitectureError
+
+Position = tuple[int, int]
+
+
+class Topology(str, Enum):
+    """Supported interconnect shapes."""
+
+    MESH = "mesh"  # 4-nearest-neighbour, no wrap-around (paper's target)
+    TORUS = "torus"  # 4-nearest-neighbour with wrap-around links
+    DIAGONAL = "diagonal"  # 8-neighbour (king moves), no wrap-around
+    FULL = "full"  # all-to-all (idealised crossbar)
+
+
+_CARDINAL = ((-1, 0), (1, 0), (0, -1), (0, 1))
+_DIAGONAL = _CARDINAL + ((-1, -1), (-1, 1), (1, -1), (1, 1))
+
+
+def neighbourhood(
+    position: Position,
+    rows: int,
+    cols: int,
+    topology: Topology | str = Topology.MESH,
+    include_self: bool = True,
+) -> list[Position]:
+    """Positions reachable from ``position`` in a single hop.
+
+    The result is sorted for determinism.  ``include_self`` controls whether
+    the PE itself is part of the neighbourhood (the mapper treats "same PE"
+    as a legal data transfer through the local register file).
+    """
+    topology = Topology(topology)
+    row, col = position
+    if not (0 <= row < rows and 0 <= col < cols):
+        raise ArchitectureError(
+            f"position {position} outside a {rows}x{cols} grid"
+        )
+    neighbours: set[Position] = set()
+    if include_self:
+        neighbours.add(position)
+    if topology is Topology.FULL:
+        neighbours.update((r, c) for r in range(rows) for c in range(cols))
+        if not include_self:
+            neighbours.discard(position)
+        return sorted(neighbours)
+    offsets = _DIAGONAL if topology is Topology.DIAGONAL else _CARDINAL
+    for d_row, d_col in offsets:
+        new_row, new_col = row + d_row, col + d_col
+        if topology is Topology.TORUS:
+            new_row %= rows
+            new_col %= cols
+        if 0 <= new_row < rows and 0 <= new_col < cols:
+            neighbours.add((new_row, new_col))
+    if not include_self:
+        neighbours.discard(position)
+    return sorted(neighbours)
+
+
+def manhattan_distance(a: Position, b: Position) -> int:
+    """Manhattan distance between two grid positions (no wrap-around)."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

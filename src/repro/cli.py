@@ -1,0 +1,145 @@
+"""Command line interface.
+
+Three sub-commands::
+
+    satmapit map --kernel gsm --rows 4 --cols 4        # map one kernel
+    satmapit sweep --sizes 2 3 --timeout 30            # reproduce Fig.6/Tables
+    satmapit show --kernel gsm                         # inspect a kernel DFG
+
+``python -m repro.cli`` works identically when the console script is not on
+PATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.core.visualize import render_mapping_report
+from repro.dfg.analysis import minimum_initiation_interval
+from repro.experiments.report import write_markdown_report
+from repro.experiments.runner import ExperimentConfig, run_sweep
+from repro.experiments.tables import (
+    render_figure6,
+    render_headline,
+    render_mapping_time_table,
+)
+from repro.frontend import compile_loop
+from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
+
+
+def _load_dfg(args: argparse.Namespace):
+    if args.kernel:
+        return get_kernel(args.kernel)
+    if args.source:
+        with open(args.source, encoding="utf-8") as stream:
+            return compile_loop(stream.read(), name=args.source)
+    raise SystemExit("either --kernel or --source is required")
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    dfg = _load_dfg(args)
+    cgra = CGRA(rows=args.rows, cols=args.cols, registers_per_pe=args.registers)
+    mapper = SatMapItMapper(MapperConfig(timeout=args.timeout, verbose=args.verbose))
+    outcome = mapper.map(dfg, cgra)
+    print(outcome.summary())
+    if outcome.mapping is not None:
+        print()
+        print(render_mapping_report(outcome.mapping, outcome.register_allocation))
+        return 0
+    return 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        kernels=tuple(args.kernels),
+        sizes=tuple(args.sizes),
+        timeout=args.timeout,
+        pathseeker_repeats=args.pathseeker_repeats,
+    )
+    print(f"running sweep: {len(config.kernels)} kernels x "
+          f"{len(config.sizes)} sizes x {len(config.mappers)} mappers")
+    sweep = run_sweep(config, progress=True)
+    print()
+    print(render_headline(sweep))
+    for size in config.sizes:
+        print()
+        print(render_figure6(sweep, size))
+    for index, size in enumerate(config.sizes):
+        print()
+        print(render_mapping_time_table(sweep, size, number=str(index + 1)))
+    if args.write_report:
+        write_markdown_report(sweep, args.write_report)
+        print(f"\nreport written to {args.write_report}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    dfg = _load_dfg(args)
+    if args.kernel:
+        spec = get_kernel_spec(args.kernel)
+        print(f"kernel {spec.name} ({spec.suite}): {spec.description}")
+        print(spec.source)
+    print(dfg)
+    print(f"critical path: {MobilitySchedule.build(dfg).length} cycles")
+    for size in args.sizes:
+        cgra = CGRA.square(size)
+        print(f"MII on {size}x{size}: {minimum_initiation_interval(dfg, cgra.num_pes)}")
+    mobility = MobilitySchedule.build(dfg)
+    print()
+    print(mobility)
+    if args.ii:
+        print()
+        print(KernelMobilitySchedule.build(mobility, args.ii))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="satmapit",
+        description="SAT-MapIt: SAT-based modulo scheduling mapper for CGRAs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    map_cmd = sub.add_parser("map", help="map one kernel onto a CGRA")
+    map_cmd.add_argument("--kernel", choices=all_kernel_names(), help="benchmark kernel")
+    map_cmd.add_argument("--source", help="path to a loop-kernel source file")
+    map_cmd.add_argument("--rows", type=int, default=4)
+    map_cmd.add_argument("--cols", type=int, default=4)
+    map_cmd.add_argument("--registers", type=int, default=4)
+    map_cmd.add_argument("--timeout", type=float, default=120.0)
+    map_cmd.add_argument("--verbose", action="store_true")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    sweep_cmd = sub.add_parser("sweep", help="reproduce Figure 6 and Tables I-IV")
+    sweep_cmd.add_argument("--kernels", nargs="+", default=all_kernel_names(),
+                           choices=all_kernel_names())
+    sweep_cmd.add_argument("--sizes", nargs="+", type=int, default=[2, 3, 4, 5])
+    sweep_cmd.add_argument("--timeout", type=float, default=60.0,
+                           help="per-run timeout in seconds (paper: 4000)")
+    sweep_cmd.add_argument("--pathseeker-repeats", type=int, default=3)
+    sweep_cmd.add_argument("--write-report", metavar="PATH",
+                           help="write EXPERIMENTS-style Markdown report to PATH")
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    show_cmd = sub.add_parser("show", help="inspect a kernel DFG and its schedules")
+    show_cmd.add_argument("--kernel", choices=all_kernel_names())
+    show_cmd.add_argument("--source", help="path to a loop-kernel source file")
+    show_cmd.add_argument("--sizes", nargs="+", type=int, default=[2, 3, 4, 5])
+    show_cmd.add_argument("--ii", type=int, help="also print the KMS for this II")
+    show_cmd.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core SAT-MapIt mapper (the paper's primary contribution).
+
+Pipeline (Figure 3 of the paper):
+
+1. :mod:`repro.core.mobility` builds the Mobility Schedule and folds it into
+   the Kernel Mobility Schedule (KMS) for a candidate II.
+2. :mod:`repro.core.encoder` translates DFG + KMS + CGRA into a CNF formula
+   (constraint families C1, C2 and C3).
+3. The CDCL solver from :mod:`repro.sat` decides the formula.
+4. :mod:`repro.core.regalloc` colours per-PE interference graphs against the
+   register file; a colouring failure (like an UNSAT answer) bumps the II.
+5. :mod:`repro.core.mapper` drives the iteration and returns a validated
+   :class:`repro.core.mapping.Mapping`.
+"""
+
+from repro.core.codegen import CGRAProgram, generate_program
+from repro.core.mapper import IIAttempt, MapperConfig, MappingOutcome, SatMapItMapper
+from repro.core.mapping import Mapping, Placement
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.core.regalloc import RegisterAllocation, allocate_registers
+
+__all__ = [
+    "SatMapItMapper",
+    "MapperConfig",
+    "MappingOutcome",
+    "IIAttempt",
+    "Mapping",
+    "Placement",
+    "MobilitySchedule",
+    "KernelMobilitySchedule",
+    "RegisterAllocation",
+    "allocate_registers",
+    "CGRAProgram",
+    "generate_program",
+]

@@ -1,0 +1,190 @@
+"""Prologue / kernel / epilogue code generation (paper Figure 2b).
+
+A modulo-scheduled loop executes in three stages: the *prologue* fills the
+pipeline (iterations start every II cycles but the first ones have no
+predecessors in flight yet), the *kernel* is the II-cycle steady state that
+repeats once per iteration, and the *epilogue* drains the last iterations.
+
+Given a validated :class:`~repro.core.mapping.Mapping` (and optionally its
+register allocation) this module emits the per-PE instruction streams of the
+three stages — the artefact a CGRA configuration compiler would load into the
+instruction memories of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapping import Mapping
+from repro.core.regalloc import RegisterAllocation
+from repro.exceptions import MappingError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One issued operation: a DFG node instance bound to a PE and cycle."""
+
+    node_id: int
+    opcode: str
+    pe: int
+    #: Iteration offset relative to the iteration entering the stage: 0 for
+    #: the newest iteration in flight, 1 for the previous one, and so on.
+    iteration_offset: int
+    #: Destination register in the PE's register file (``None`` when the
+    #: value is only forwarded through the output register).
+    register: int | None = None
+
+    def __str__(self) -> str:
+        register = f" -> r{self.register}" if self.register is not None else ""
+        return f"n{self.node_id}:{self.opcode}[it-{self.iteration_offset}]{register}"
+
+
+@dataclass
+class StageSchedule:
+    """Cycle-by-cycle contents of one stage (prologue, kernel or epilogue)."""
+
+    name: str
+    num_cycles: int
+    #: ``rows[cycle][pe]`` is the instruction issued there, or ``None``.
+    rows: list[list[Instruction | None]] = field(default_factory=list)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(1 for row in self.rows for slot in row if slot is not None)
+
+    def render(self) -> str:
+        """ASCII rendering, one line per cycle."""
+        if not self.rows:
+            return f"{self.name}: (empty)"
+        lines = [f"{self.name} ({self.num_cycles} cycles):"]
+        for cycle, row in enumerate(self.rows):
+            cells = [str(slot) if slot is not None else "." for slot in row]
+            lines.append(f"  {cycle:3d} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass
+class CGRAProgram:
+    """The three stages of a modulo-scheduled loop, ready to load."""
+
+    mapping: Mapping
+    prologue: StageSchedule
+    kernel: StageSchedule
+    epilogue: StageSchedule
+
+    @property
+    def ii(self) -> int:
+        return self.mapping.ii
+
+    @property
+    def stages(self) -> tuple[StageSchedule, StageSchedule, StageSchedule]:
+        return (self.prologue, self.kernel, self.epilogue)
+
+    def total_cycles(self, num_iterations: int) -> int:
+        """Execution time of the full loop for ``num_iterations`` iterations.
+
+        The kernel executes once per iteration beyond the ones already
+        covered by the prologue/epilogue overlap.
+        """
+        if num_iterations < 1:
+            raise MappingError(f"num_iterations must be >= 1, got {num_iterations}")
+        in_flight = self.mapping.num_kernel_iterations
+        if num_iterations < in_flight:
+            # Not enough iterations to ever reach the steady state: the flat
+            # schedule (plus the extra iterations started) bounds the time.
+            return self.mapping.schedule_length + (num_iterations - 1) * self.ii
+        kernel_repeats = num_iterations - in_flight + 1
+        return (
+            self.prologue.num_cycles
+            + kernel_repeats * self.kernel.num_cycles
+            + self.epilogue.num_cycles
+        )
+
+    def render(self) -> str:
+        return "\n\n".join(stage.render() for stage in self.stages)
+
+
+def generate_program(
+    mapping: Mapping, allocation: RegisterAllocation | None = None
+) -> CGRAProgram:
+    """Emit prologue / kernel / epilogue instruction streams for a mapping."""
+    if not mapping.placements:
+        raise MappingError("cannot generate code for an empty mapping")
+    violations = mapping.violations()
+    if violations:
+        raise MappingError(
+            "refusing to generate code for an illegal mapping: " + violations[0]
+        )
+    ii = mapping.ii
+    dfg = mapping.dfg
+    in_flight = mapping.num_kernel_iterations
+    length = mapping.schedule_length
+    num_pes = mapping.cgra.num_pes
+
+    def instruction(node_id: int, iteration_offset: int) -> Instruction:
+        placement = mapping.placements[node_id]
+        register = None
+        if allocation is not None:
+            register = allocation.assignment.get(node_id)
+        return Instruction(
+            node_id=node_id,
+            opcode=dfg.node(node_id).opcode.value,
+            pe=placement.pe,
+            iteration_offset=iteration_offset,
+            register=register,
+        )
+
+    # Steady-state kernel: at kernel cycle c, every placement with that cycle
+    # executes, labelled by how many iterations ago its iteration started.
+    kernel_rows: list[list[Instruction | None]] = [
+        [None] * num_pes for _ in range(ii)
+    ]
+    for node_id, placement in mapping.placements.items():
+        kernel_rows[placement.cycle][placement.pe] = instruction(
+            node_id, placement.iteration
+        )
+    kernel = StageSchedule(name="kernel", num_cycles=ii, rows=kernel_rows)
+
+    # Prologue: the (in_flight - 1) * II cycles before the steady state.
+    # Iteration k starts at cycle k * II, so an instruction with flat time
+    # t executes at prologue cycle t + k * II for every iteration started
+    # early enough to fall inside the prologue window.
+    prologue_cycles = (in_flight - 1) * ii
+    prologue_rows: list[list[Instruction | None]] = [
+        [None] * num_pes for _ in range(prologue_cycles)
+    ]
+    for node_id, placement in mapping.placements.items():
+        flat = placement.flat_time(ii)
+        for started in range(in_flight - 1):
+            cycle = flat + started * ii
+            if cycle < prologue_cycles:
+                prologue_rows[cycle][placement.pe] = instruction(
+                    node_id, placement.iteration
+                )
+    prologue = StageSchedule(
+        name="prologue", num_cycles=prologue_cycles, rows=prologue_rows
+    )
+
+    # Epilogue: the last (schedule length - II) cycles, draining the
+    # iterations still in flight after the final kernel instance.  The
+    # instruction of node n for the iteration that is `drain + 1` periods from
+    # the end executes at epilogue cycle t - (drain + 1) * II.
+    epilogue_cycles = max(0, length - ii)
+    epilogue_rows: list[list[Instruction | None]] = [
+        [None] * num_pes for _ in range(epilogue_cycles)
+    ]
+    for node_id, placement in mapping.placements.items():
+        flat = placement.flat_time(ii)
+        for drain in range(in_flight - 1):
+            cycle = flat - (drain + 1) * ii
+            if 0 <= cycle < epilogue_cycles:
+                epilogue_rows[cycle][placement.pe] = instruction(
+                    node_id, placement.iteration
+                )
+    epilogue = StageSchedule(
+        name="epilogue", num_cycles=epilogue_cycles, rows=epilogue_rows
+    )
+
+    return CGRAProgram(
+        mapping=mapping, prologue=prologue, kernel=kernel, epilogue=epilogue
+    )

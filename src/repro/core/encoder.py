@@ -1,0 +1,342 @@
+"""CNF encoding of the CGRA mapping problem (paper Section IV-C).
+
+Literals are of the form ``x[n, p, c, it]`` — node ``n`` executes on PE ``p``
+at kernel cycle ``c``, carrying the KMS iteration label ``it``.  Three
+constraint families are produced:
+
+* **C1** — for every node, exactly one of its literals is true (Equation 1).
+* **C2** — at most one node per (PE, kernel cycle) slot (Equation 2).
+* **C3** — every DFG dependency connects neighbouring (or identical) PEs with
+  modulo-schedule-consistent timing (Equation 3), and values travelling to a
+  neighbour through the producer's output register are not overwritten before
+  consumption (Equations 4 and 5).
+
+The paper presents C3 as a disjunction over compatible literal pairs; here it
+is encoded equivalently (given the exactly-one constraints of C1) as two
+implication families — ``source literal → one of its compatible destination
+literals`` and vice versa — plus conditional "no overwrite" clauses that use
+one auxiliary *occupancy* variable per (PE, cycle) slot to stay compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgra.architecture import CGRA
+from repro.core.mobility import KernelMobilitySchedule
+from repro.dfg.graph import DFG, DFGEdge
+from repro.exceptions import EncodingError
+from repro.sat.cnf import CNF
+from repro.sat.encodings import AMOEncoding, at_most_one, exactly_one
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Options controlling the shape and strictness of the encoding."""
+
+    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    #: Maximum KMS-iteration distance between the two endpoints of a
+    #: dependency (the paper considers "literals that are at most one
+    #: iteration apart"); ``None`` removes the restriction.
+    max_iteration_span: int | None = None
+    #: When True, a value sent to a neighbouring PE lives in the producer's
+    #: output register and must not be overwritten before consumption
+    #: (Equation 5).  The default is False — the fabric lets a consumer read
+    #: the producer's register file directly (the paper's Equation 4 path,
+    #: with liveness accounted for by register allocation); the strict
+    #: output-register model is kept for the ablation study.
+    enforce_output_register: bool = False
+    #: Restrict one anchor node (the most connected one) to the grid's
+    #: symmetry fundamental domain.  Sound (grid automorphisms map legal
+    #: mappings to legal mappings) and considerably speeds up UNSAT proofs.
+    symmetry_breaking: bool = True
+
+
+@dataclass
+class EncodingStats:
+    """Size statistics of a generated encoding."""
+
+    num_variables: int = 0
+    num_clauses: int = 0
+    num_c1_clauses: int = 0
+    num_c2_clauses: int = 0
+    num_c3_clauses: int = 0
+    num_symmetry_clauses: int = 0
+
+
+@dataclass
+class MappingEncoding:
+    """A CNF mapping instance plus the variable bookkeeping to decode models."""
+
+    cnf: CNF
+    variables: dict[tuple[int, int, int, int], int]
+    literals_by_node: dict[int, list[int]]
+    stats: EncodingStats = field(default_factory=EncodingStats)
+
+    def decode(self, model: dict[int, bool]) -> dict[int, tuple[int, int, int]]:
+        """Extract ``node -> (pe, cycle, iteration)`` from a SAT model."""
+        placements: dict[int, tuple[int, int, int]] = {}
+        for (node, pe, cycle, iteration), var in self.variables.items():
+            if model.get(var, False):
+                if node in placements:
+                    raise EncodingError(
+                        f"model places node {node} twice: {placements[node]} and "
+                        f"{(pe, cycle, iteration)}"
+                    )
+                placements[node] = (pe, cycle, iteration)
+        return placements
+
+
+class MappingEncoder:
+    """Builds the CNF formula for one (DFG, CGRA, II) mapping instance."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        kms: KernelMobilitySchedule,
+        config: EncoderConfig | None = None,
+    ) -> None:
+        self.dfg = dfg
+        self.cgra = cgra
+        self.kms = kms
+        self.config = config or EncoderConfig()
+        self._cnf = CNF()
+        self._variables: dict[tuple[int, int, int, int], int] = {}
+        self._slot_literals: dict[tuple[int, int], list[int]] = {}
+        self._occupancy_vars: dict[tuple[int, int], int] = {}
+        self._stats = EncodingStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def encode(self) -> MappingEncoding:
+        """Generate the full CNF formula for the mapping instance."""
+        self._create_variables()
+        self._encode_c1()
+        self._encode_c2()
+        self._encode_c3()
+        if self.config.symmetry_breaking:
+            self._encode_symmetry_breaking()
+        self._stats.num_variables = self._cnf.num_vars
+        self._stats.num_clauses = self._cnf.num_clauses
+        literals_by_node = {
+            node_id: [
+                self._variables[(node_id, pe, slot.cycle, slot.iteration)]
+                for slot in self.kms.node_slots(node_id)
+                for pe in range(self.cgra.num_pes)
+            ]
+            for node_id in self.dfg.node_ids
+        }
+        return MappingEncoding(
+            cnf=self._cnf,
+            variables=dict(self._variables),
+            literals_by_node=literals_by_node,
+            stats=self._stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Variable creation
+    # ------------------------------------------------------------------
+    def _create_variables(self) -> None:
+        for node_id in self.dfg.node_ids:
+            slots = self.kms.node_slots(node_id)
+            if not slots:
+                raise EncodingError(f"node {node_id} has no KMS slots")
+            for slot in slots:
+                for pe in range(self.cgra.num_pes):
+                    var = self._cnf.new_var()
+                    key = (node_id, pe, slot.cycle, slot.iteration)
+                    self._variables[key] = var
+                    self._slot_literals.setdefault((pe, slot.cycle), []).append(var)
+
+    def _var(self, node: int, pe: int, cycle: int, iteration: int) -> int:
+        return self._variables[(node, pe, cycle, iteration)]
+
+    # ------------------------------------------------------------------
+    # C1: every node is placed exactly once
+    # ------------------------------------------------------------------
+    def _encode_c1(self) -> None:
+        before = self._cnf.num_clauses
+        for node_id in self.dfg.node_ids:
+            literals = [
+                self._var(node_id, pe, slot.cycle, slot.iteration)
+                for slot in self.kms.node_slots(node_id)
+                for pe in range(self.cgra.num_pes)
+            ]
+            exactly_one(self._cnf, literals, self.config.amo_encoding)
+        self._stats.num_c1_clauses = self._cnf.num_clauses - before
+
+    # ------------------------------------------------------------------
+    # C2: at most one node per (PE, cycle) slot
+    # ------------------------------------------------------------------
+    def _encode_c2(self) -> None:
+        before = self._cnf.num_clauses
+        for literals in self._slot_literals.values():
+            at_most_one(self._cnf, literals, self.config.amo_encoding)
+        self._stats.num_c2_clauses = self._cnf.num_clauses - before
+
+    # ------------------------------------------------------------------
+    # C3: dependencies — neighbourhood, timing and output-register survival
+    # ------------------------------------------------------------------
+    def _encode_c3(self) -> None:
+        before = self._cnf.num_clauses
+        for edge in self.dfg.edges:
+            self._encode_dependency(edge)
+        self._stats.num_c3_clauses = self._cnf.num_clauses - before
+
+    def _encode_dependency(self, edge: DFGEdge) -> None:
+        src_slots = self.kms.node_slots(edge.src)
+        dst_slots = self.kms.node_slots(edge.dst)
+        latency = self.dfg.node(edge.src).latency
+        ii = self.kms.ii
+
+        # Pre-compute which destination slots are time-compatible with each
+        # source slot (independent of the PEs involved).
+        compatible_slots: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for src_slot in src_slots:
+            entries: list[tuple[int, int, int]] = []
+            t_src = src_slot.flat_time(ii)
+            for dst_slot in dst_slots:
+                if (
+                    self.config.max_iteration_span is not None
+                    and abs(dst_slot.iteration - src_slot.iteration)
+                    > self.config.max_iteration_span
+                ):
+                    continue
+                t_dst = dst_slot.flat_time(ii) + edge.distance * ii
+                span = t_dst - t_src
+                if span < latency:
+                    continue
+                entries.append((dst_slot.cycle, dst_slot.iteration, span))
+            compatible_slots[(src_slot.cycle, src_slot.iteration)] = entries
+
+        # Forward implications: a placed source literal needs a compatible
+        # destination literal (and vice versa).
+        self._implication_clauses(edge, compatible_slots, forward=True)
+        self._implication_clauses(edge, compatible_slots, forward=False)
+
+        if self.config.enforce_output_register:
+            self._overwrite_clauses(edge, compatible_slots)
+
+    def _implication_clauses(
+        self,
+        edge: DFGEdge,
+        compatible_slots: dict[tuple[int, int], list[tuple[int, int, int]]],
+        forward: bool,
+    ) -> None:
+        """Clauses of the form ``¬endpoint_literal ∨ (compatible other ends)``."""
+        ii = self.kms.ii
+        latency = self.dfg.node(edge.src).latency
+        if forward:
+            anchor_slots = self.kms.node_slots(edge.src)
+        else:
+            anchor_slots = self.kms.node_slots(edge.dst)
+
+        for anchor_slot in anchor_slots:
+            for anchor_pe in range(self.cgra.num_pes):
+                if forward:
+                    anchor_var = self._var(
+                        edge.src, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
+                    )
+                else:
+                    anchor_var = self._var(
+                        edge.dst, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
+                    )
+                support: list[int] = []
+                if forward:
+                    entries = compatible_slots[(anchor_slot.cycle, anchor_slot.iteration)]
+                    for cycle, iteration, _span in entries:
+                        for pe in self.cgra.neighbours(anchor_pe, include_self=True):
+                            support.append(self._var(edge.dst, pe, cycle, iteration))
+                else:
+                    t_dst = anchor_slot.flat_time(ii) + edge.distance * ii
+                    for src_slot in self.kms.node_slots(edge.src):
+                        if (
+                            self.config.max_iteration_span is not None
+                            and abs(anchor_slot.iteration - src_slot.iteration)
+                            > self.config.max_iteration_span
+                        ):
+                            continue
+                        if t_dst - src_slot.flat_time(ii) < latency:
+                            continue
+                        for pe in self.cgra.neighbours(anchor_pe, include_self=True):
+                            support.append(
+                                self._var(edge.src, pe, src_slot.cycle, src_slot.iteration)
+                            )
+                self._cnf.add_clause([-anchor_var] + support)
+
+    def _overwrite_clauses(
+        self,
+        edge: DFGEdge,
+        compatible_slots: dict[tuple[int, int], list[tuple[int, int, int]]],
+    ) -> None:
+        """Equation 5: neighbour transfers must survive in the output register.
+
+        For a source literal at flat time ``t_s`` and a destination literal on
+        a *different* PE consuming at flat time ``t_s + span``:
+
+        * if ``span > II`` the producer itself re-executes before consumption
+          and the pair is forbidden outright;
+        * otherwise no instruction may occupy the producer's PE at the kernel
+          cycles strictly between production and consumption.
+        """
+        ii = self.kms.ii
+        for src_slot in self.kms.node_slots(edge.src):
+            entries = compatible_slots[(src_slot.cycle, src_slot.iteration)]
+            for src_pe in range(self.cgra.num_pes):
+                src_var = self._var(edge.src, src_pe, src_slot.cycle, src_slot.iteration)
+                for cycle, iteration, span in entries:
+                    for dst_pe in self.cgra.neighbours(src_pe, include_self=False):
+                        dst_var = self._var(edge.dst, dst_pe, cycle, iteration)
+                        if span > ii:
+                            self._cnf.add_clause([-src_var, -dst_var])
+                            continue
+                        t_src = src_slot.flat_time(ii)
+                        for flat in range(t_src + 1, t_src + span):
+                            busy = self._occupancy(src_pe, flat % ii)
+                            if busy is None:
+                                continue
+                            self._cnf.add_clause([-src_var, -dst_var, -busy])
+
+    # ------------------------------------------------------------------
+    # Symmetry breaking
+    # ------------------------------------------------------------------
+    def _encode_symmetry_breaking(self) -> None:
+        """Pin the most connected node to the grid's fundamental domain."""
+        before = self._cnf.num_clauses
+        domain = set(self.cgra.symmetry_fundamental_domain())
+        if len(domain) >= self.cgra.num_pes:
+            return
+        anchor = max(
+            self.dfg.node_ids,
+            key=lambda n: (
+                len(self.dfg.predecessors(n)) + len(self.dfg.successors(n)),
+                -n,
+            ),
+        )
+        for slot in self.kms.node_slots(anchor):
+            for pe in range(self.cgra.num_pes):
+                if pe not in domain:
+                    self._cnf.add_clause(
+                        [-self._var(anchor, pe, slot.cycle, slot.iteration)]
+                    )
+        self._stats.num_symmetry_clauses = self._cnf.num_clauses - before
+
+    def _occupancy(self, pe: int, cycle: int) -> int | None:
+        """Auxiliary variable that is true when any node occupies (pe, cycle).
+
+        Created lazily; returns ``None`` when no literal can occupy the slot
+        (the constraint is then vacuously satisfied).
+        """
+        key = (pe, cycle)
+        if key in self._occupancy_vars:
+            return self._occupancy_vars[key]
+        literals = self._slot_literals.get(key)
+        if not literals:
+            return None
+        busy = self._cnf.new_var()
+        self._occupancy_vars[key] = busy
+        for literal in literals:
+            self._cnf.add_clause([-literal, busy])
+        return busy

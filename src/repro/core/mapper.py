@@ -1,0 +1,326 @@
+"""SAT-MapIt iterative mapping driver (paper Figure 3).
+
+For a candidate II the driver builds the KMS, encodes the mapping problem as
+CNF, calls the CDCL solver, and — on SAT — runs register allocation.  If the
+formula is UNSAT or the colouring fails, the II is incremented and the whole
+process repeats, until a mapping is found or a bound (maximum II, wall-clock
+timeout) is hit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cgra.architecture import CGRA
+from repro.core.encoder import EncoderConfig, MappingEncoder
+from repro.core.mapping import Mapping
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.core.regalloc import RegisterAllocation, allocate_registers
+from repro.dfg.analysis import critical_path_length, minimum_initiation_interval
+from repro.dfg.graph import DFG
+from repro.exceptions import MappingError
+from repro.sat.encodings import AMOEncoding
+from repro.sat.solver import CDCLSolver
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Knobs of the SAT-MapIt mapping loop.
+
+    The defaults follow the paper's experimental setup: mobility windows from
+    the critical-path schedule (with a little slack retried on UNSAT),
+    dependencies delivered through the neighbourhood register files (the
+    paper's Equation-4 path) with register allocation as a separate post-pass,
+    and an II cap of 50 (the paper terminates a run once the current II
+    reaches 50 without success).  Two stricter variants are available for the
+    ablation study: ``enforce_output_register=True`` adds the Equation-5
+    output-register survival clauses, and ``max_iteration_span=1`` reproduces
+    the paper's "at most one iteration apart" literal-pair restriction.
+    """
+
+    max_ii: int = 50
+    timeout: float | None = None
+    #: Wall-clock budget for a single (II, slack) SAT attempt.  An attempt
+    #: that exceeds it is treated as inconclusive and the search moves on to
+    #: the next slack level / II, which turns the mapper into an anytime tool
+    #: on very large instances (the II found may then exceed the true
+    #: optimum, but a mapping is still produced within the global timeout).
+    attempt_time_limit: float | None = None
+    schedule_slack: int = 0
+    #: Extra schedule slots tried (in addition to ``schedule_slack``) before
+    #: giving up on a given II.  Slack widens mobility windows and can make an
+    #: otherwise infeasible II feasible at the cost of a larger encoding.
+    max_extra_slack: int = 1
+    #: Conflict budget for the extra-slack attempts.  Their formulas are
+    #: larger and occasionally much harder to refute; bounding them keeps the
+    #: iterative loop moving (an inconclusive attempt simply falls through to
+    #: the next II).
+    slack_conflict_limit: int | None = 5000
+    #: How many alternative SAT models to request at the same II when
+    #: register allocation rejects a mapping (each retry adds a blocking
+    #: clause over the overloaded PE's placements).
+    regalloc_retries: int = 3
+    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    max_iteration_span: int | None = None
+    enforce_output_register: bool = False
+    symmetry_breaking: bool = True
+    neighbour_register_file_access: bool = True
+    run_register_allocation: bool = True
+    solver_conflict_limit: int | None = None
+    random_seed: int | None = None
+    verbose: bool = False
+
+
+@dataclass
+class IIAttempt:
+    """Record of one (II, slack) attempt of the iterative loop."""
+
+    ii: int
+    schedule_slack: int
+    status: str  # "SAT", "UNSAT", "UNKNOWN", "REGALLOC_FAIL"
+    num_variables: int = 0
+    num_clauses: int = 0
+    encode_time: float = 0.0
+    solve_time: float = 0.0
+    conflicts: int = 0
+    decisions: int = 0
+
+
+@dataclass
+class MappingOutcome:
+    """Overall result of a mapping run."""
+
+    success: bool
+    dfg_name: str
+    cgra_name: str
+    ii: int | None = None
+    mapping: Mapping | None = None
+    register_allocation: RegisterAllocation | None = None
+    attempts: list[IIAttempt] = field(default_factory=list)
+    total_time: float = 0.0
+    minimum_ii: int = 1
+    timed_out: bool = False
+
+    @property
+    def final_status(self) -> str:
+        if self.success:
+            return "mapped"
+        if self.timed_out:
+            return "timeout"
+        return "failed"
+
+    def summary(self) -> str:
+        """One-line summary used by the CLI and the experiment harness."""
+        if self.success:
+            return (
+                f"{self.dfg_name} on {self.cgra_name}: II={self.ii} "
+                f"(MII={self.minimum_ii}, {len(self.attempts)} attempts, "
+                f"{self.total_time:.2f}s)"
+            )
+        return (
+            f"{self.dfg_name} on {self.cgra_name}: {self.final_status} after "
+            f"{len(self.attempts)} attempts ({self.total_time:.2f}s)"
+        )
+
+
+class SatMapItMapper:
+    """The SAT-based modulo scheduling mapper (the paper's contribution)."""
+
+    name = "SAT-MapIt"
+
+    def __init__(self, config: MapperConfig | None = None) -> None:
+        self.config = config or MapperConfig()
+
+    # ------------------------------------------------------------------
+    def map(self, dfg: DFG, cgra: CGRA, start_ii: int | None = None) -> MappingOutcome:
+        """Find the smallest feasible II for ``dfg`` on ``cgra``.
+
+        The search starts at the minimum initiation interval (max of ResMII
+        and RecMII) unless ``start_ii`` overrides it, and increments the II on
+        UNSAT answers or register-allocation failures.
+        """
+        config = self.config
+        dfg.validate()
+        start = time.perf_counter()
+        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        first_ii = max(start_ii or mii, 1)
+        outcome = MappingOutcome(
+            success=False, dfg_name=dfg.name, cgra_name=cgra.name, minimum_ii=mii
+        )
+
+        for ii in range(first_ii, config.max_ii + 1):
+            if self._out_of_time(start):
+                outcome.timed_out = True
+                break
+            found = self._try_ii(dfg, cgra, ii, outcome, start)
+            if found is not None:
+                mapping, allocation = found
+                outcome.success = True
+                outcome.ii = ii
+                outcome.mapping = mapping
+                outcome.register_allocation = allocation
+                break
+
+        outcome.total_time = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _try_ii(
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        ii: int,
+        outcome: MappingOutcome,
+        start: float,
+    ) -> tuple[Mapping, RegisterAllocation | None] | None:
+        """Attempt one II, trying increasing schedule slack before giving up."""
+        config = self.config
+        # When the II exceeds the critical-path length (large kernels on tiny
+        # fabrics) the schedule length, not the II, caps the number of usable
+        # (PE, cycle) slots; stretch the mobility schedule so that all II
+        # kernel cycles are actually reachable.
+        structural_slack = max(0, ii - critical_path_length(dfg))
+        for extra_slack in range(config.max_extra_slack + 1):
+            if self._out_of_time(start):
+                outcome.timed_out = True
+                return None
+            slack = config.schedule_slack + structural_slack + extra_slack
+            attempt = IIAttempt(ii=ii, schedule_slack=slack, status="UNKNOWN")
+            outcome.attempts.append(attempt)
+
+            encode_start = time.perf_counter()
+            mobility = MobilitySchedule.build(dfg, slack=slack)
+            kms = KernelMobilitySchedule.build(mobility, ii)
+            encoder = MappingEncoder(
+                dfg,
+                cgra,
+                kms,
+                EncoderConfig(
+                    amo_encoding=config.amo_encoding,
+                    max_iteration_span=config.max_iteration_span,
+                    enforce_output_register=config.enforce_output_register,
+                    symmetry_breaking=config.symmetry_breaking,
+                ),
+            )
+            encoding = encoder.encode()
+            attempt.encode_time = time.perf_counter() - encode_start
+            attempt.num_variables = encoding.stats.num_variables
+            attempt.num_clauses = encoding.stats.num_clauses
+
+            conflict_limit = config.solver_conflict_limit
+            if extra_slack > 0 and config.slack_conflict_limit is not None:
+                if conflict_limit is None:
+                    conflict_limit = config.slack_conflict_limit
+                else:
+                    conflict_limit = min(conflict_limit, config.slack_conflict_limit)
+            time_limit = self._remaining_time(start)
+            if config.attempt_time_limit is not None:
+                if time_limit is None:
+                    time_limit = config.attempt_time_limit
+                else:
+                    time_limit = min(time_limit, config.attempt_time_limit)
+            # Solve, decode and run register allocation.  A colouring failure
+            # is handled the way the paper treats an uncolourable interference
+            # graph: instead of walking straight to the next II, the same
+            # formula is re-solved with a blocking clause that rules out the
+            # placement combination on the overloaded PE, asking the solver
+            # for a structurally different mapping at the same II.
+            for regalloc_round in range(config.regalloc_retries + 1):
+                solver = CDCLSolver(random_seed=config.random_seed)
+                result = solver.solve(
+                    encoding.cnf,
+                    conflict_limit=conflict_limit,
+                    time_limit=time_limit,
+                )
+                attempt.solve_time += result.stats.solve_time
+                attempt.conflicts += result.stats.conflicts
+                attempt.decisions += result.stats.decisions
+
+                if result.status == "UNKNOWN":
+                    attempt.status = "UNKNOWN"
+                    if self._out_of_time(start):
+                        outcome.timed_out = True
+                        return None
+                    # Inconclusive bounded attempt: fall through to the next
+                    # slack level / II.
+                    break
+                if result.is_unsat:
+                    attempt.status = "UNSAT"
+                    self._log(f"II={ii} slack={slack}: UNSAT "
+                              f"({attempt.num_clauses} clauses)")
+                    break
+
+                attempt.status = "SAT"
+                assert result.model is not None
+                mapping = self._build_mapping(
+                    dfg, cgra, ii, encoding.decode(result.model)
+                )
+                violations = mapping.violations(
+                    check_overwrite=config.enforce_output_register
+                )
+                if violations:
+                    raise MappingError(
+                        "SAT model decodes to an illegal mapping — encoding bug: "
+                        + "; ".join(violations[:5])
+                    )
+
+                if not config.run_register_allocation:
+                    return mapping, None
+                allocation = allocate_registers(
+                    dfg, cgra, mapping, config.neighbour_register_file_access
+                )
+                if allocation.success:
+                    mapping.registers = dict(allocation.assignment)
+                    return mapping, allocation
+                attempt.status = "REGALLOC_FAIL"
+                self._log(f"II={ii} slack={slack}: register allocation failed "
+                          f"({allocation.failure_reason})")
+                if regalloc_round < config.regalloc_retries:
+                    self._block_overloaded_pe(encoding, mapping, allocation)
+            # Try the next slack level / II.
+        return None
+
+    @staticmethod
+    def _block_overloaded_pe(encoding, mapping: Mapping, allocation) -> None:
+        """Forbid the placement combination that overloaded a register file.
+
+        Adds one clause saying "not all of these nodes on this PE at these
+        cycles again"; the next solver call must produce a mapping that
+        differs on the overloaded PE.
+        """
+        failed_pe = allocation.failed_pe
+        literals: list[int] = []
+        for node_id, placement in mapping.placements.items():
+            if failed_pe is not None and placement.pe != failed_pe:
+                continue
+            key = (node_id, placement.pe, placement.cycle, placement.iteration)
+            var = encoding.variables.get(key)
+            if var is not None:
+                literals.append(-var)
+        if literals:
+            encoding.cnf.add_clause(literals)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_mapping(
+        dfg: DFG, cgra: CGRA, ii: int, placements: dict[int, tuple[int, int, int]]
+    ) -> Mapping:
+        mapping = Mapping(dfg=dfg, cgra=cgra, ii=ii)
+        for node_id, (pe, cycle, iteration) in placements.items():
+            mapping.place(node_id, pe, cycle, iteration)
+        return mapping
+
+    def _out_of_time(self, start: float) -> bool:
+        timeout = self.config.timeout
+        return timeout is not None and (time.perf_counter() - start) >= timeout
+
+    def _remaining_time(self, start: float) -> float | None:
+        timeout = self.config.timeout
+        if timeout is None:
+            return None
+        return max(0.01, timeout - (time.perf_counter() - start))
+
+    def _log(self, message: str) -> None:
+        if self.config.verbose:
+            print(f"[SAT-MapIt] {message}")

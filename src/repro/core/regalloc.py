@@ -1,0 +1,230 @@
+"""Register allocation for modulo-scheduled CGRA mappings (paper Section IV-D).
+
+After the SAT solver fixes where and when every instruction runs, each value
+must live in a register of its producer's PE from the cycle it is produced
+until the last consumer has read it.  Because the kernel repeats every II
+cycles, live ranges are *circular*: a value whose lifetime exceeds the II has
+several copies alive simultaneously (one per in-flight iteration) and needs
+one register per copy.
+
+The allocator:
+
+1. computes the modulo live range of every produced value,
+2. expands values into one vertex per simultaneously-live copy,
+3. builds the per-PE interference graph over kernel cycles, and
+4. greedily colours it with the PE's register count.
+
+A colouring failure is reported back to the mapper, which reacts by
+increasing the II (the paper's alternative — splitting live ranges with
+loads/stores — is available as an estimate of the extra cycles needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapping import Mapping
+from repro.dfg.graph import DFG
+from repro.exceptions import RegisterAllocationError
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """The modulo live range of one value (the output of one node)."""
+
+    node_id: int
+    pe: int
+    start: int  # flat time the value becomes available
+    end: int  # flat time of the last consumption (exclusive bound)
+    ii: int
+
+    @property
+    def length(self) -> int:
+        return max(0, self.end - self.start)
+
+    @property
+    def copies(self) -> int:
+        """Number of simultaneously live copies in the steady-state kernel."""
+        if self.length == 0:
+            return 0
+        return -(-self.length // self.ii)  # ceil division
+
+    def cycles_for_copy(self, copy_index: int) -> set[int]:
+        """Kernel cycles occupied by one specific live copy of the value."""
+        cycles: set[int] = set()
+        for flat in range(self.start, self.end):
+            if (flat - self.start) // self.ii == copy_index:
+                cycles.add(flat % self.ii)
+        return cycles
+
+    def occupied_cycles(self) -> dict[int, int]:
+        """Kernel cycle -> number of live copies at that cycle."""
+        pressure: dict[int, int] = {}
+        for flat in range(self.start, self.end):
+            cycle = flat % self.ii
+            pressure[cycle] = pressure.get(cycle, 0) + 1
+        return pressure
+
+
+@dataclass
+class RegisterAllocation:
+    """Result of the register-allocation phase."""
+
+    success: bool
+    #: ``node -> register index`` for the first live copy of each value (the
+    #: remaining copies rotate through the registers listed in ``all_copies``).
+    assignment: dict[int, int] = field(default_factory=dict)
+    #: ``node -> [register index per live copy]``.
+    all_copies: dict[int, list[int]] = field(default_factory=dict)
+    live_ranges: dict[int, LiveRange] = field(default_factory=dict)
+    #: Maximum number of simultaneously live values on any PE / kernel cycle.
+    max_pressure: int = 0
+    #: Human readable description of the failure (empty when successful).
+    failure_reason: str = ""
+    #: PE whose register file could not accommodate the live values (``None``
+    #: when successful); the mapper uses it to steer its retry.
+    failed_pe: int | None = None
+
+    def registers_used(self, pe: int) -> int:
+        """Number of distinct registers used on a PE."""
+        used: set[int] = set()
+        for node_id, registers in self.all_copies.items():
+            live = self.live_ranges.get(node_id)
+            if live is not None and live.pe == pe:
+                used.update(registers)
+        return len(used)
+
+
+def compute_live_ranges(
+    dfg: DFG, mapping: Mapping, neighbour_register_file_access: bool = False
+) -> dict[int, LiveRange]:
+    """Live range of every value, anchored on its producer's PE.
+
+    A value occupies a register of the producer's PE for every consumer placed
+    on the *same* PE; when ``neighbour_register_file_access`` is true the
+    neighbouring consumers also read from the producer's register file (and
+    therefore extend the live range), otherwise they are served by the output
+    register whose survival was already enforced by the SAT encoding.
+    """
+    ii = mapping.ii
+    ranges: dict[int, LiveRange] = {}
+    for node in dfg.nodes:
+        if node.node_id not in mapping.placements:
+            continue
+        producer = mapping.placements[node.node_id]
+        start = producer.flat_time(ii) + node.latency
+        last_use = start
+        has_register_consumer = False
+        for edge in dfg.successors(node.node_id):
+            if edge.dst not in mapping.placements:
+                continue
+            consumer = mapping.placements[edge.dst]
+            consumed = consumer.flat_time(ii) + edge.distance * ii
+            same_pe = consumer.pe == producer.pe
+            if same_pe or neighbour_register_file_access:
+                has_register_consumer = True
+                last_use = max(last_use, consumed + 1)
+        if not has_register_consumer:
+            continue
+        ranges[node.node_id] = LiveRange(
+            node_id=node.node_id, pe=producer.pe, start=start, end=last_use, ii=ii
+        )
+    return ranges
+
+
+def allocate_registers(
+    dfg: DFG,
+    cgra: CGRA,
+    mapping: Mapping,
+    neighbour_register_file_access: bool = False,
+) -> RegisterAllocation:
+    """Colour per-PE interference graphs against the register file size."""
+    if mapping.ii < 1:
+        raise RegisterAllocationError(f"mapping has invalid II {mapping.ii}")
+    live_ranges = compute_live_ranges(dfg, mapping, neighbour_register_file_access)
+    registers = cgra.registers_per_pe
+
+    # Pressure check (MAXLIVE): cheap necessary condition and useful metric.
+    max_pressure = 0
+    pressure: dict[tuple[int, int], int] = {}
+    for live in live_ranges.values():
+        for cycle, copies in live.occupied_cycles().items():
+            key = (live.pe, cycle)
+            pressure[key] = pressure.get(key, 0) + copies
+            max_pressure = max(max_pressure, pressure[key])
+
+    allocation = RegisterAllocation(
+        success=True, live_ranges=live_ranges, max_pressure=max_pressure
+    )
+    if max_pressure > registers:
+        pe, cycle = max(pressure, key=pressure.get)  # type: ignore[arg-type]
+        allocation.success = False
+        allocation.failed_pe = pe
+        allocation.failure_reason = (
+            f"register pressure {max_pressure} exceeds the {registers} registers of "
+            f"PE {pe} at kernel cycle {cycle}"
+        )
+        return allocation
+
+    # Per-PE greedy colouring over live copies (vertices of the interference
+    # graph).  Copies of the same value always interfere with each other (they
+    # are alive simultaneously for different in-flight iterations).  Copies of
+    # *different* values interfere whenever the two values are live at a
+    # common kernel cycle: because the copy a given iteration occupies rotates
+    # over time, sharing a register between two overlapping values is only
+    # safe if their rotation periods never collide, and the conservative
+    # value-level test keeps the assignment correct for any number of copies
+    # (the cycle-accurate simulator in repro.simulator checks exactly this).
+    occupied: dict[int, set[int]] = {
+        node_id: set(live.occupied_cycles()) for node_id, live in live_ranges.items()
+    }
+    for pe in range(cgra.num_pes):
+        vertices: list[tuple[int, int, set[int]]] = []
+        for live in live_ranges.values():
+            if live.pe != pe:
+                continue
+            for copy_index in range(live.copies):
+                vertices.append((live.node_id, copy_index, live.cycles_for_copy(copy_index)))
+        # Colour the most constrained (longest) copies first.
+        vertices.sort(key=lambda vertex: -len(vertex[2]))
+        colouring: dict[tuple[int, int], int] = {}
+        for node_id, copy_index, cycles in vertices:
+            forbidden: set[int] = set()
+            for (other_node, other_copy), colour in colouring.items():
+                other_live = live_ranges[other_node]
+                if other_live.pe != pe:
+                    continue
+                if other_node == node_id:
+                    forbidden.add(colour)
+                elif occupied[node_id] & occupied[other_node]:
+                    forbidden.add(colour)
+            colour = next(
+                (candidate for candidate in range(registers) if candidate not in forbidden),
+                None,
+            )
+            if colour is None:
+                allocation.success = False
+                allocation.failed_pe = pe
+                allocation.failure_reason = (
+                    f"could not colour value of node {node_id} (copy {copy_index}) "
+                    f"on PE {pe} with {registers} registers"
+                )
+                return allocation
+            colouring[(node_id, copy_index)] = colour
+        for (node_id, copy_index), colour in colouring.items():
+            allocation.all_copies.setdefault(node_id, []).append(colour)
+            if copy_index == 0:
+                allocation.assignment[node_id] = colour
+    return allocation
+
+
+def estimate_spill_cycles(allocation: RegisterAllocation, registers: int) -> int:
+    """Rough estimate of the extra cycles needed to split uncolourable ranges.
+
+    The paper resolves colouring failures by splitting overlapping intervals
+    with load/store pairs; each unit of excess pressure requires one store and
+    one load, i.e. two additional instructions.
+    """
+    excess = max(0, allocation.max_pressure - registers)
+    return 2 * excess

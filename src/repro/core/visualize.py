@@ -1,0 +1,74 @@
+"""ASCII visualisation of schedules and mappings.
+
+Rendering helpers used by the CLI, the examples and (informally) by humans
+debugging a mapping: the kernel as a cycle-by-PE table (paper Figure 2c), the
+mobility schedule (Figure 4) and the KMS (Figure 5) print through their own
+``__str__``; this module adds the mapping-centric views.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import Mapping
+from repro.core.regalloc import RegisterAllocation
+
+
+def render_kernel(mapping: Mapping) -> str:
+    """Render the steady-state kernel as a ``cycle x PE`` table."""
+    cgra = mapping.cgra
+    header_cells = [f"PE{pe}" for pe in range(cgra.num_pes)]
+    width = max(5, max((len(cell) for cell in header_cells), default=5))
+    table = mapping.kernel_table()
+    lines = []
+    header = "cycle | " + " ".join(cell.rjust(width) for cell in header_cells)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cycle, row in enumerate(table):
+        cells = []
+        for node_id in row:
+            cells.append(("." if node_id is None else f"n{node_id}").rjust(width))
+        lines.append(f"{cycle:5d} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_grid(mapping: Mapping, cycle: int) -> str:
+    """Render one kernel cycle as the physical PE grid."""
+    cgra = mapping.cgra
+    table = mapping.kernel_table()
+    if not 0 <= cycle < mapping.ii:
+        raise ValueError(f"cycle {cycle} outside kernel of II={mapping.ii}")
+    row_lines = []
+    width = 6
+    for row in range(cgra.rows):
+        cells = []
+        for col in range(cgra.cols):
+            node_id = table[cycle][cgra.pe_index((row, col))]
+            cells.append(("." if node_id is None else f"n{node_id}").center(width))
+        row_lines.append("|" + "|".join(cells) + "|")
+    separator = "+" + "+".join(["-" * width] * cgra.cols) + "+"
+    out = [separator]
+    for line in row_lines:
+        out.append(line)
+        out.append(separator)
+    return "\n".join(out)
+
+
+def render_mapping_report(
+    mapping: Mapping, allocation: RegisterAllocation | None = None
+) -> str:
+    """Full human-readable report of a mapping."""
+    lines = [
+        f"DFG {mapping.dfg.name!r} on {mapping.cgra.describe()}",
+        f"II = {mapping.ii}, kernel iterations in flight = {mapping.num_kernel_iterations}",
+        f"PE utilisation = {mapping.pe_utilisation():.2%}",
+        "",
+        render_kernel(mapping),
+    ]
+    if allocation is not None:
+        lines.append("")
+        lines.append(
+            f"register allocation: {'ok' if allocation.success else 'FAILED'}, "
+            f"max pressure = {allocation.max_pressure}"
+        )
+        if allocation.failure_reason:
+            lines.append(f"  reason: {allocation.failure_reason}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Data-flow graph substrate.
+
+A :class:`~repro.dfg.graph.DFG` represents one loop body: nodes are
+instructions (with an opcode and an optional constant), edges are data
+dependencies, and *back edges* carry a positive iteration ``distance`` to
+model loop-carried dependencies.
+
+:mod:`repro.dfg.analysis` implements the schedules the paper relies on —
+ASAP, ALAP, mobility — as well as the minimum initiation interval bounds
+(ResMII / RecMII) used to seed the iterative search.
+"""
+
+from repro.dfg.analysis import (
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+    minimum_initiation_interval,
+    mobility,
+    recurrence_mii,
+    resource_mii,
+)
+from repro.dfg.graph import DFG, DFGEdge, DFGNode, Opcode
+
+__all__ = [
+    "DFG",
+    "DFGEdge",
+    "DFGNode",
+    "Opcode",
+    "asap_schedule",
+    "alap_schedule",
+    "mobility",
+    "critical_path_length",
+    "resource_mii",
+    "recurrence_mii",
+    "minimum_initiation_interval",
+]

@@ -1,0 +1,131 @@
+"""Schedule analyses on data-flow graphs.
+
+These are the building blocks of the paper's schedule-creation step
+(Section IV-B): ASAP and ALAP schedules over the forward-edge DAG, node
+mobility, and the lower bounds on the initiation interval (ResMII from the PE
+budget, RecMII from dependence recurrences).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.dfg.graph import DFG
+from repro.exceptions import DFGError
+
+
+def asap_schedule(dfg: DFG) -> dict[int, int]:
+    """As-soon-as-possible start time of every node over forward edges."""
+    order = _forward_topological_order(dfg)
+    schedule: dict[int, int] = {}
+    for node_id in order:
+        earliest = 0
+        for edge in dfg.predecessors(node_id):
+            if edge.distance:
+                continue
+            earliest = max(earliest, schedule[edge.src] + dfg.node(edge.src).latency)
+        schedule[node_id] = earliest
+    return schedule
+
+
+def alap_schedule(dfg: DFG, length: int | None = None) -> dict[int, int]:
+    """As-late-as-possible start time of every node over forward edges.
+
+    ``length`` is the number of schedule slots; it defaults to the critical
+    path length so that at least one node has zero mobility.
+    """
+    asap = asap_schedule(dfg)
+    if length is None:
+        length = critical_path_length(dfg)
+    last_slot = length - 1
+    order = _forward_topological_order(dfg)
+    schedule: dict[int, int] = {}
+    for node_id in reversed(order):
+        latest = last_slot
+        for edge in dfg.successors(node_id):
+            if edge.distance:
+                continue
+            latest = min(latest, schedule[edge.dst] - dfg.node(node_id).latency)
+        if latest < asap[node_id]:
+            raise DFGError(
+                f"ALAP slot {latest} for node {node_id} precedes its ASAP slot "
+                f"{asap[node_id]}; schedule length {length} is too small"
+            )
+        schedule[node_id] = latest
+    return schedule
+
+
+def mobility(dfg: DFG, length: int | None = None) -> dict[int, range]:
+    """The mobility window (ASAP..ALAP inclusive) of every node."""
+    asap = asap_schedule(dfg)
+    alap = alap_schedule(dfg, length)
+    return {node_id: range(asap[node_id], alap[node_id] + 1) for node_id in asap}
+
+
+def critical_path_length(dfg: DFG) -> int:
+    """Length (in cycles) of the longest forward dependency chain."""
+    asap = asap_schedule(dfg)
+    if not asap:
+        return 0
+    return max(asap[node_id] + dfg.node(node_id).latency for node_id in asap)
+
+
+def resource_mii(dfg: DFG, num_pes: int) -> int:
+    """Resource-constrained minimum II: ``ceil(#nodes / #PEs)``."""
+    if num_pes <= 0:
+        raise ValueError(f"num_pes must be positive, got {num_pes}")
+    if dfg.num_nodes == 0:
+        return 1
+    return max(1, math.ceil(dfg.num_nodes / num_pes))
+
+
+def recurrence_mii(dfg: DFG) -> int:
+    """Recurrence-constrained minimum II.
+
+    For every dependence cycle the II must satisfy
+    ``II * total_distance >= total_latency``; the bound is the maximum of
+    ``ceil(total_latency / total_distance)`` over all elementary cycles.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.node_ids)
+    # Aggregate parallel edges keeping the minimum distance (tightest).
+    for edge in dfg.edges:
+        if graph.has_edge(edge.src, edge.dst):
+            existing = graph[edge.src][edge.dst]
+            existing["distance"] = min(existing["distance"], edge.distance)
+        else:
+            graph.add_edge(edge.src, edge.dst, distance=edge.distance)
+    best = 1
+    for cycle in nx.simple_cycles(graph):
+        total_latency = sum(dfg.node(node_id).latency for node_id in cycle)
+        total_distance = 0
+        for index, node_id in enumerate(cycle):
+            nxt = cycle[(index + 1) % len(cycle)]
+            total_distance += graph[node_id][nxt]["distance"]
+        if total_distance == 0:
+            raise DFGError(
+                f"DFG {dfg.name!r} has a zero-distance dependence cycle {cycle}"
+            )
+        best = max(best, math.ceil(total_latency / total_distance))
+    return best
+
+
+def minimum_initiation_interval(dfg: DFG, num_pes: int) -> int:
+    """The MII used to seed the iterative mapping search."""
+    return max(resource_mii(dfg, num_pes), recurrence_mii(dfg))
+
+
+def _forward_topological_order(dfg: DFG) -> list[int]:
+    """Topological order of the forward-edge (distance zero) subgraph."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.node_ids)
+    graph.add_edges_from((e.src, e.dst) for e in dfg.forward_edges())
+    try:
+        return list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible as exc:
+        raise DFGError(
+            f"forward edges of DFG {dfg.name!r} contain a cycle; "
+            "mark loop-carried dependencies with distance >= 1"
+        ) from exc

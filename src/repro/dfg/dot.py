@@ -1,0 +1,43 @@
+"""DOT (Graphviz) export for data-flow graphs.
+
+The exporter is dependency-free (plain text generation) so that DFGs can be
+inspected with any Graphviz viewer without adding pygraphviz/pydot to the
+runtime requirements.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DFG
+
+
+def to_dot(dfg: DFG, highlight: dict[int, str] | None = None) -> str:
+    """Render ``dfg`` as a DOT digraph string.
+
+    ``highlight`` optionally maps node ids to fill colours (e.g. to colour
+    nodes by the PE they were mapped to).
+    """
+    highlight = highlight or {}
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;", "  node [shape=circle];"]
+    for node in dfg.nodes:
+        attributes = [f'label="{node.label}"']
+        colour = highlight.get(node.node_id)
+        if colour:
+            attributes.append("style=filled")
+            attributes.append(f'fillcolor="{colour}"')
+        lines.append(f"  n{node.node_id} [{', '.join(attributes)}];")
+    for edge in dfg.edges:
+        if edge.distance > 0:
+            lines.append(
+                f"  n{edge.src} -> n{edge.dst} "
+                f'[style=dashed, label="d={edge.distance}"];'
+            )
+        else:
+            lines.append(f"  n{edge.src} -> n{edge.dst};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(dfg: DFG, path: str, highlight: dict[int, str] | None = None) -> None:
+    """Write the DOT rendering of ``dfg`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(to_dot(dfg, highlight))

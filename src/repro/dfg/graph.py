@@ -1,0 +1,307 @@
+"""Data-flow graph data structure.
+
+Nodes model CGRA instructions; every node has an :class:`Opcode`, an optional
+constant operand and a latency (one cycle for every ALU-class operation on the
+target CGRA, matching the paper's architecture model).  Edges model data
+dependencies; an edge with ``distance > 0`` is a loop-carried (back) edge whose
+value is produced ``distance`` iterations before it is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from repro.exceptions import DFGError
+
+
+class Opcode(str, Enum):
+    """Instruction set of the target CGRA's processing elements."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    LT = "lt"
+    GT = "gt"
+    EQ = "eq"
+    SELECT = "select"
+    LOAD = "load"
+    STORE = "store"
+    CONST = "const"
+    PHI = "phi"
+    ROUTE = "route"
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the operation accesses the data memory."""
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_commutative(self) -> bool:
+        """Whether operand order does not matter."""
+        return self in (Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.EQ)
+
+
+@dataclass(frozen=True)
+class DFGNode:
+    """A single instruction in the data-flow graph."""
+
+    node_id: int
+    opcode: Opcode = Opcode.ADD
+    name: str = ""
+    constant: int | None = None
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise DFGError(f"node id must be non-negative, got {self.node_id}")
+        if self.latency < 1:
+            raise DFGError(f"latency must be >= 1, got {self.latency}")
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used by visualisation and DOT export."""
+        if self.name:
+            return f"{self.node_id}:{self.name}"
+        return f"{self.node_id}:{self.opcode.value}"
+
+
+@dataclass(frozen=True)
+class DFGEdge:
+    """A data dependency between two instructions.
+
+    ``distance`` counts loop iterations between producer and consumer: zero
+    for an intra-iteration dependency, one or more for loop-carried
+    dependencies (back edges).
+    """
+
+    src: int
+    dst: int
+    distance: int = 0
+    operand_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise DFGError(f"edge distance must be non-negative, got {self.distance}")
+
+    @property
+    def is_back_edge(self) -> bool:
+        return self.distance > 0
+
+
+@dataclass
+class DFG:
+    """A loop-body data-flow graph.
+
+    The class wraps plain dictionaries rather than exposing a networkx graph
+    directly so that the mapper-facing API stays stable; conversion to
+    networkx is available through :meth:`to_networkx` for analyses that want
+    graph algorithms (cycle enumeration, longest paths, drawing).
+    """
+
+    name: str = "dfg"
+    _nodes: dict[int, DFGNode] = field(default_factory=dict)
+    _edges: list[DFGEdge] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: int | None = None,
+        opcode: Opcode | str = Opcode.ADD,
+        name: str = "",
+        constant: int | None = None,
+        latency: int = 1,
+    ) -> DFGNode:
+        """Create a node and add it to the graph, returning it."""
+        if node_id is None:
+            node_id = max(self._nodes, default=-1) + 1
+        if node_id in self._nodes:
+            raise DFGError(f"node {node_id} already exists in DFG {self.name!r}")
+        node = DFGNode(node_id, Opcode(opcode), name, constant, latency)
+        self._nodes[node_id] = node
+        return node
+
+    def add_edge(
+        self, src: int, dst: int, distance: int = 0, operand_index: int = 0
+    ) -> DFGEdge:
+        """Create a dependency edge between two existing nodes."""
+        if src not in self._nodes:
+            raise DFGError(f"source node {src} not in DFG {self.name!r}")
+        if dst not in self._nodes:
+            raise DFGError(f"destination node {dst} not in DFG {self.name!r}")
+        edge = DFGEdge(src, dst, distance, operand_index)
+        self._edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[DFGNode]:
+        """All nodes, ordered by node id."""
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    @property
+    def edges(self) -> list[DFGEdge]:
+        return list(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node(self, node_id: int) -> DFGNode:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise DFGError(f"node {node_id} not in DFG {self.name!r}") from exc
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def successors(self, node_id: int) -> list[DFGEdge]:
+        """Outgoing edges of ``node_id``."""
+        return [edge for edge in self._edges if edge.src == node_id]
+
+    def predecessors(self, node_id: int) -> list[DFGEdge]:
+        """Incoming edges of ``node_id``."""
+        return [edge for edge in self._edges if edge.dst == node_id]
+
+    def forward_edges(self) -> list[DFGEdge]:
+        """Edges with distance zero (intra-iteration dependencies)."""
+        return [edge for edge in self._edges if edge.distance == 0]
+
+    def back_edges(self) -> list[DFGEdge]:
+        """Edges with positive distance (loop-carried dependencies)."""
+        return [edge for edge in self._edges if edge.distance > 0]
+
+    def __iter__(self) -> Iterator[DFGNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"DFG(name={self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"back_edges={len(self.back_edges())})"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and conversion
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`DFGError` on failure.
+
+        The forward-edge subgraph must be acyclic (cycles must be broken by
+        back edges with positive distance) and every edge endpoint must exist.
+        """
+        for edge in self._edges:
+            if edge.src not in self._nodes or edge.dst not in self._nodes:
+                raise DFGError(f"edge {edge} references a missing node")
+        forward = nx.DiGraph()
+        forward.add_nodes_from(self._nodes)
+        forward.add_edges_from((e.src, e.dst) for e in self.forward_edges())
+        if not nx.is_directed_acyclic_graph(forward):
+            cycle = nx.find_cycle(forward)
+            raise DFGError(
+                f"forward edges of DFG {self.name!r} contain a cycle: {cycle}; "
+                "loop-carried dependencies must use distance >= 1"
+            )
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Convert to a networkx multigraph (edges keep their distance)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes:
+            graph.add_node(node.node_id, opcode=node.opcode.value, label=node.label)
+        for edge in self._edges:
+            graph.add_edge(edge.src, edge.dst, distance=edge.distance)
+        return graph
+
+    def copy(self, name: str | None = None) -> "DFG":
+        """Return a structural copy of the graph."""
+        clone = DFG(name=name or self.name)
+        for node in self.nodes:
+            clone.add_node(node.node_id, node.opcode, node.name, node.constant, node.latency)
+        for edge in self._edges:
+            clone.add_edge(edge.src, edge.dst, edge.distance, edge.operand_index)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        name: str,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int] | tuple[int, int, int]],
+        opcodes: dict[int, Opcode | str] | None = None,
+    ) -> "DFG":
+        """Build a DFG from a node count and an edge list.
+
+        Each edge is ``(src, dst)`` or ``(src, dst, distance)``.  Node ids run
+        from 0 to ``num_nodes - 1``; unspecified opcodes default to ``ADD``.
+        """
+        dfg = cls(name=name)
+        opcodes = opcodes or {}
+        for node_id in range(num_nodes):
+            dfg.add_node(node_id, opcodes.get(node_id, Opcode.ADD))
+        for edge in edges:
+            if len(edge) == 2:
+                src, dst = edge  # type: ignore[misc]
+                distance = 0
+            else:
+                src, dst, distance = edge  # type: ignore[misc]
+            dfg.add_edge(src, dst, distance)
+        dfg.validate()
+        return dfg
+
+
+def paper_running_example() -> DFG:
+    """The 11-node running example of the paper (Figure 2a).
+
+    The figure shows nodes 1–11 with forward dependencies chosen so that the
+    ASAP/ALAP/mobility tables of Figure 4 are reproduced exactly, and a
+    loop-carried dependency from node 9 back to node 1.  Node ids here match
+    the paper's numbering (1-based).
+    """
+    dfg = DFG(name="running_example")
+    for node_id in range(1, 12):
+        dfg.add_node(node_id, Opcode.ADD, name=f"n{node_id}")
+    # Forward edges reproducing Figure 4's ASAP/ALAP levels:
+    #   ASAP levels: 0:{1,2,3,4}  1:{5,7,10}  2:{6,11}  3:{8}  4:{9}
+    #   ALAP levels: 0:{3}  1:{4,5}  2:{1,6,7}  3:{2,8,10}  4:{9,11}
+    dfg.add_edge(3, 5)
+    dfg.add_edge(4, 7)
+    dfg.add_edge(1, 10)
+    dfg.add_edge(5, 6)
+    dfg.add_edge(10, 11)
+    dfg.add_edge(7, 8)
+    dfg.add_edge(6, 8)
+    dfg.add_edge(8, 9)
+    dfg.add_edge(2, 9)
+    # Loop-carried dependency closing the recurrence (node 9 feeds node 2 of
+    # the next iteration).
+    dfg.add_edge(9, 2, distance=1)
+    dfg.validate()
+    return dfg

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.runner` sweeps (kernel x CGRA size x mapper) and
+  records the achieved II, the mapping time and the failure mode — the raw
+  data behind Figure 6 and Tables I–IV.
+* :mod:`repro.experiments.tables` turns a sweep into the paper's artefacts:
+  the Figure-6 II comparison, the per-size mapping-time tables and the
+  "better in 47.72 % of cases" headline.
+* :mod:`repro.experiments.report` renders a complete EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunRecord,
+    SweepResult,
+    run_single,
+    run_sweep,
+)
+from repro.experiments.tables import (
+    figure6_rows,
+    headline_winrate,
+    mapping_time_rows,
+    render_figure6,
+    render_mapping_time_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "RunRecord",
+    "SweepResult",
+    "run_single",
+    "run_sweep",
+    "figure6_rows",
+    "mapping_time_rows",
+    "headline_winrate",
+    "render_figure6",
+    "render_mapping_time_table",
+]

@@ -1,0 +1,127 @@
+"""EXPERIMENTS.md generation.
+
+Renders a complete Markdown report for a sweep: the Figure-6 II comparison
+per mesh size, the Tables I–IV mapping times, the Section-V headline numbers
+and the paper-vs-measured commentary.  The repository's committed
+EXPERIMENTS.md is produced by this module (see ``benchmarks/`` and
+``python -m repro.cli sweep --write-report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import SweepResult
+from repro.experiments.tables import (
+    figure6_rows,
+    headline_winrate,
+    mapping_time_rows,
+    never_worse,
+)
+
+_TABLE_NUMBERS = {2: "I", 3: "II", 4: "III", 5: "IV"}
+
+_PAPER_EXPECTATIONS = """\
+The paper's evaluation (Section V) makes three claims, restated here as the
+shapes this reproduction checks:
+
+1. **SAT-MapIt achieves better IIs** (Figure 6): its II is never worse than
+   the best of RAMP/PathSeeker, strictly better in a substantial fraction of
+   the 44 (benchmark, mesh) pairs (47.72 % in the paper), including cases
+   (``patricia``, ``backprop`` on 2x2) where the heuristics find no mapping
+   at all.
+2. **SAT-MapIt uses tight resources better**: the advantage is concentrated
+   on the smallest (2x2) fabric.
+3. **SAT-MapIt is faster when runtimes are high** (Tables I–IV): it is often
+   slower on the easy cases (sub-second heuristic runs) but dramatically
+   faster on the cases where the heuristics blow up or time out.
+
+Absolute IIs and times differ from the paper because the DFGs are produced by
+this repository's own front-end (not the authors' LLVM pass), the SAT backend
+is the bundled pure-Python CDCL solver (not Z3), and the heuristics are
+re-implementations rather than the original binaries (see DESIGN.md).
+"""
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Rendering options for the Markdown report."""
+
+    title: str = "EXPERIMENTS — SAT-MapIt reproduction"
+    include_expectations: bool = True
+
+
+def _markdown_figure6(sweep: SweepResult, size: int) -> list[str]:
+    lines = [
+        f"### Figure 6 — achieved II on the {size}x{size} CGRA",
+        "",
+        "| benchmark | best of RAMP/PathSeeker | SAT-MapIt | SAT-MapIt wins |",
+        "|---|---|---|---|",
+    ]
+    for row in figure6_rows(sweep, size):
+        soa = row.soa_ii if row.soa_ii is not None else f"✗ ({row.soa_status})"
+        sat = row.satmapit_ii if row.satmapit_ii is not None else f"✗ ({row.satmapit_status})"
+        verdict = "yes" if row.satmapit_wins else ("tie" if row.tie else "no")
+        lines.append(f"| {row.kernel} | {soa} | {sat} | {verdict} |")
+    lines.append("")
+    return lines
+
+
+def _markdown_times(sweep: SweepResult, size: int) -> list[str]:
+    number = _TABLE_NUMBERS.get(size, "")
+    lines = [
+        f"### Table {number} — mapping time (seconds) on the {size}x{size} CGRA",
+        "",
+        "| benchmark | RAMP/PathSeeker (best) | SAT-MapIt | Δ |",
+        "|---|---|---|---|",
+    ]
+    for row in mapping_time_rows(sweep, size):
+        lines.append(
+            f"| {row.kernel} | {row.soa_time:.2f} | {row.satmapit_time:.2f} | "
+            f"{row.delta:+.2f} |"
+        )
+    lines.append("")
+    return lines
+
+
+def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = None) -> str:
+    """Render the full Markdown report for one sweep."""
+    options = options or ReportOptions()
+    config = sweep.config
+    wins, total, fraction = headline_winrate(sweep)
+    lines = [f"# {options.title}", ""]
+    if options.include_expectations:
+        lines.extend([_PAPER_EXPECTATIONS, ""])
+    lines.extend(
+        [
+            "## Protocol",
+            "",
+            f"* kernels: {', '.join(config.kernels)}",
+            f"* mesh sizes: {', '.join(f'{s}x{s}' for s in config.sizes)}",
+            f"* per-run timeout: {config.timeout:.0f} s (paper: 4000 s), "
+            f"II cap: {config.max_ii}",
+            f"* registers per PE: {config.registers_per_pe}, 4-neighbour mesh",
+            f"* PathSeeker repeats per case: {config.pathseeker_repeats} (paper: 10)",
+            "",
+            "## Headline (paper Section V)",
+            "",
+            f"* SAT-MapIt strictly better (lower II or only valid mapping): "
+            f"**{wins}/{total} = {fraction:.2%}** (paper: 47.72 %)",
+            f"* SAT-MapIt never worse than the best heuristic: **{never_worse(sweep)}**",
+            "",
+        ]
+    )
+    for size in config.sizes:
+        lines.extend(_markdown_figure6(sweep, size))
+    for size in config.sizes:
+        if size in _TABLE_NUMBERS:
+            lines.extend(_markdown_times(sweep, size))
+    return "\n".join(lines) + "\n"
+
+
+def write_markdown_report(
+    sweep: SweepResult, path: str, options: ReportOptions | None = None
+) -> None:
+    """Write the Markdown report to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(render_markdown_report(sweep, options))

@@ -1,0 +1,34 @@
+"""Loop-kernel front-end.
+
+The paper extracts loop DFGs from C sources through a custom LLVM pass.  This
+reproduction replaces that machinery with a small, self-contained loop
+language: a kernel is written as a sequence of assignments over scalars and
+arrays, the implicit loop index is ``i``, and the front-end lowers the body to
+a :class:`repro.dfg.graph.DFG` with SSA-style value numbering and loop-carried
+dependencies for scalars that are read before they are written (accumulators)
+and for the induction variable itself.
+
+Example::
+
+    from repro.frontend import compile_loop
+
+    dfg = compile_loop('''
+        t = a[i] + b[i]
+        acc = acc + t * 3
+        c[i] = t >> 2
+    ''', name="saxpy_like")
+"""
+
+from repro.frontend.builder import compile_loop, DFGBuilder
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import Parser, parse_program
+
+__all__ = [
+    "compile_loop",
+    "DFGBuilder",
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "Parser",
+    "parse_program",
+]

@@ -1,0 +1,86 @@
+"""Abstract syntax tree for the loop-kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Variable(Expr):
+    """Scalar variable reference (including the loop index ``i``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Array element read, e.g. ``a[i + 1]``."""
+
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operation, e.g. ``lhs + rhs``."""
+
+    operator: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Ternary selection ``condition ? if_true : if_false``."""
+
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+class Statement:
+    """Base class of statement nodes."""
+
+
+@dataclass(frozen=True)
+class ScalarAssign(Statement):
+    """Assignment to a scalar variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Statement):
+    """Assignment to an array element (a store)."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    """A full loop body: an ordered list of statements."""
+
+    statements: tuple[Statement, ...]
+
+    @property
+    def assigned_scalars(self) -> set[str]:
+        """Names of scalar variables written anywhere in the body."""
+        return {
+            statement.name
+            for statement in self.statements
+            if isinstance(statement, ScalarAssign)
+        }

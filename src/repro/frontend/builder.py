@@ -1,0 +1,214 @@
+"""Lowering of loop-kernel ASTs to data-flow graphs.
+
+The builder performs SSA-style value numbering over a single loop body:
+
+* Every expression evaluates to a DFG node; identical constant literals are
+  shared, everything else gets a fresh node.
+* Scalar variables written by the body and read *before* their first write
+  are loop-carried accumulators: their first read becomes a PHI node whose
+  incoming back edge (distance 1) is added once the defining statement has
+  been lowered.
+* Scalar variables that are only read are loop invariants, modelled as CONST
+  nodes (they would live in a register that is initialised by the prologue).
+* Array reads and writes become LOAD/STORE nodes fed by their index
+  expression.  Memory dependencies between a store and subsequent loads of
+  the same array are added conservatively (distance 0 within an iteration,
+  distance 1 from a store to the loads of the next iteration).
+* The implicit induction variable ``i`` is a PHI node incremented by an ADD
+  node each iteration (a genuine recurrence, as in the paper's DFGs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dfg.graph import DFG, Opcode
+from repro.exceptions import FrontendError
+from repro.frontend.ast_nodes import (
+    ArrayAssign,
+    ArrayRef,
+    BinaryOp,
+    Expr,
+    Number,
+    Program,
+    ScalarAssign,
+    Select,
+    Statement,
+    Variable,
+)
+from repro.frontend.parser import parse_program
+
+_BINARY_OPCODES: dict[str, Opcode] = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.DIV,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "<": Opcode.LT,
+    ">": Opcode.GT,
+    "<=": Opcode.GT,
+    ">=": Opcode.LT,
+    "==": Opcode.EQ,
+    "!=": Opcode.EQ,
+}
+
+INDUCTION_VARIABLE = "i"
+
+
+@dataclass
+class DFGBuilder:
+    """Lowers a parsed :class:`Program` into a :class:`DFG`."""
+
+    name: str = "kernel"
+    include_induction_variable: bool = True
+    _dfg: DFG = field(init=False)
+    _scalar_defs: dict[str, int] = field(default_factory=dict, init=False)
+    _pending_phis: dict[str, int] = field(default_factory=dict, init=False)
+    _constants: dict[int, int] = field(default_factory=dict, init=False)
+    _invariants: dict[str, int] = field(default_factory=dict, init=False)
+    _last_store: dict[str, int] = field(default_factory=dict, init=False)
+    _loads_since_store: dict[str, list[int]] = field(default_factory=dict, init=False)
+    _assigned_scalars: set[str] = field(default_factory=set, init=False)
+
+    def __post_init__(self) -> None:
+        self._dfg = DFG(name=self.name)
+
+    # ------------------------------------------------------------------
+    def build(self, program: Program) -> DFG:
+        """Lower ``program`` and return the resulting DFG."""
+        self._assigned_scalars = set(program.assigned_scalars)
+        if self.include_induction_variable:
+            self._build_induction_variable()
+        for statement in program.statements:
+            self._lower_statement(statement)
+        self._close_pending_phis()
+        self._dfg.validate()
+        return self._dfg
+
+    # ------------------------------------------------------------------
+    # Induction variable
+    # ------------------------------------------------------------------
+    def _build_induction_variable(self) -> None:
+        phi = self._dfg.add_node(opcode=Opcode.PHI, name=INDUCTION_VARIABLE)
+        one = self._constant(1)
+        increment = self._dfg.add_node(opcode=Opcode.ADD, name=f"{INDUCTION_VARIABLE}_next")
+        self._dfg.add_edge(phi.node_id, increment.node_id)
+        self._dfg.add_edge(one, increment.node_id, operand_index=1)
+        self._dfg.add_edge(increment.node_id, phi.node_id, distance=1)
+        self._scalar_defs[INDUCTION_VARIABLE] = phi.node_id
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _lower_statement(self, statement: Statement) -> None:
+        if isinstance(statement, ScalarAssign):
+            value = self._lower_expr(statement.value)
+            self._scalar_defs[statement.name] = value
+        elif isinstance(statement, ArrayAssign):
+            index = self._lower_expr(statement.index)
+            value = self._lower_expr(statement.value)
+            store = self._dfg.add_node(opcode=Opcode.STORE, name=f"store_{statement.array}")
+            self._dfg.add_edge(index, store.node_id, operand_index=0)
+            self._dfg.add_edge(value, store.node_id, operand_index=1)
+            # Conservative memory ordering: loads of the same array issued in
+            # the next iteration depend on this store.
+            for load in self._loads_since_store.get(statement.array, []):
+                self._dfg.add_edge(store.node_id, load, distance=1)
+            self._loads_since_store[statement.array] = []
+            self._last_store[statement.array] = store.node_id
+        else:  # pragma: no cover - grammar produces only the two kinds above
+            raise FrontendError(f"unsupported statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _lower_expr(self, expr: Expr) -> int:
+        if isinstance(expr, Number):
+            return self._constant(expr.value)
+        if isinstance(expr, Variable):
+            return self._lower_variable(expr.name)
+        if isinstance(expr, ArrayRef):
+            return self._lower_array_ref(expr)
+        if isinstance(expr, BinaryOp):
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            opcode = _BINARY_OPCODES.get(expr.operator)
+            if opcode is None:
+                raise FrontendError(f"unsupported operator {expr.operator!r}")
+            node = self._dfg.add_node(opcode=opcode)
+            self._dfg.add_edge(lhs, node.node_id, operand_index=0)
+            self._dfg.add_edge(rhs, node.node_id, operand_index=1)
+            return node.node_id
+        if isinstance(expr, Select):
+            condition = self._lower_expr(expr.condition)
+            if_true = self._lower_expr(expr.if_true)
+            if_false = self._lower_expr(expr.if_false)
+            node = self._dfg.add_node(opcode=Opcode.SELECT)
+            self._dfg.add_edge(condition, node.node_id, operand_index=0)
+            self._dfg.add_edge(if_true, node.node_id, operand_index=1)
+            self._dfg.add_edge(if_false, node.node_id, operand_index=2)
+            return node.node_id
+        raise FrontendError(f"unsupported expression {expr!r}")
+
+    def _lower_variable(self, name: str) -> int:
+        if name in self._scalar_defs:
+            return self._scalar_defs[name]
+        if name in self._assigned_scalars:
+            # Read before write: loop-carried accumulator, becomes a PHI whose
+            # back edge is connected once the defining statement is lowered.
+            phi = self._dfg.add_node(opcode=Opcode.PHI, name=name)
+            self._pending_phis[name] = phi.node_id
+            self._scalar_defs[name] = phi.node_id
+            return phi.node_id
+        # Never written inside the body: loop invariant.
+        if name not in self._invariants:
+            node = self._dfg.add_node(opcode=Opcode.CONST, name=name)
+            self._invariants[name] = node.node_id
+        return self._invariants[name]
+
+    def _lower_array_ref(self, expr: ArrayRef) -> int:
+        index = self._lower_expr(expr.index)
+        load = self._dfg.add_node(opcode=Opcode.LOAD, name=f"load_{expr.array}")
+        self._dfg.add_edge(index, load.node_id, operand_index=0)
+        self._loads_since_store.setdefault(expr.array, []).append(load.node_id)
+        # A load following a store to the same array in the same iteration
+        # depends on it (no alias analysis: conservative ordering).
+        if expr.array in self._last_store:
+            self._dfg.add_edge(self._last_store[expr.array], load.node_id)
+        return load.node_id
+
+    def _constant(self, value: int) -> int:
+        if value not in self._constants:
+            node = self._dfg.add_node(opcode=Opcode.CONST, name=str(value), constant=value)
+            self._constants[value] = node.node_id
+        return self._constants[value]
+
+    # ------------------------------------------------------------------
+    def _close_pending_phis(self) -> None:
+        """Connect accumulator PHIs to the final definition of their scalar."""
+        for name, phi_node in self._pending_phis.items():
+            final_def = self._scalar_defs.get(name)
+            if final_def is None or final_def == phi_node:
+                raise FrontendError(
+                    f"scalar {name!r} is read before being written but never "
+                    "receives a new value"
+                )
+            self._dfg.add_edge(final_def, phi_node, distance=1)
+
+
+def compile_loop(source: str, name: str = "kernel",
+                 include_induction_variable: bool = True) -> DFG:
+    """Compile loop-kernel source text into a :class:`DFG`.
+
+    This is the front-end entry point used by the kernel suite and by the
+    examples; it corresponds to the "DFG generation" stage of the paper's
+    toolchain (Figure 3).
+    """
+    program = parse_program(source)
+    builder = DFGBuilder(name=name, include_induction_variable=include_induction_variable)
+    return builder.build(program)

@@ -1,0 +1,141 @@
+"""Tokenizer for the loop-kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import FrontendError
+
+
+class TokenKind(str, Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    ASSIGN = "assign"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    LBRACKET = "lbracket"
+    RBRACKET = "rbracket"
+    QUESTION = "question"
+    COLON = "colon"
+    NEWLINE = "newline"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+#: Multi-character operators must be listed before their prefixes.
+_OPERATORS = ("<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%",
+              "&", "|", "^", "<", ">")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert loop-kernel source text into a token stream.
+
+    Comments start with ``#`` and run to the end of the line.  Newlines and
+    semicolons both act as statement separators (emitted as NEWLINE tokens).
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def push(kind: TokenKind, text: str) -> None:
+        tokens.append(Token(kind, text, line, column))
+
+    while index < length:
+        char = source[index]
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == "\n" or char == ";":
+            push(TokenKind.NEWLINE, char)
+            index += 1
+            if char == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            push(TokenKind.NUMBER, source[start:index])
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            push(TokenKind.IDENT, source[start:index])
+            column += index - start
+            continue
+        if char == "(":
+            push(TokenKind.LPAREN, char)
+            index += 1
+            column += 1
+            continue
+        if char == ")":
+            push(TokenKind.RPAREN, char)
+            index += 1
+            column += 1
+            continue
+        if char == "[":
+            push(TokenKind.LBRACKET, char)
+            index += 1
+            column += 1
+            continue
+        if char == "]":
+            push(TokenKind.RBRACKET, char)
+            index += 1
+            column += 1
+            continue
+        if char == "?":
+            push(TokenKind.QUESTION, char)
+            index += 1
+            column += 1
+            continue
+        if char == ":":
+            push(TokenKind.COLON, char)
+            index += 1
+            column += 1
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                if operator == "=" :
+                    break
+                push(TokenKind.OPERATOR, operator)
+                index += len(operator)
+                column += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char == "=":
+            # Could be '==' (handled above) or assignment.
+            push(TokenKind.ASSIGN, "=")
+            index += 1
+            column += 1
+            continue
+        raise FrontendError(f"unexpected character {char!r} at line {line}, column {column}")
+
+    push(TokenKind.END, "")
+    return tokens

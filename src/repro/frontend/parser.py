@@ -1,0 +1,173 @@
+"""Recursive-descent parser for the loop-kernel language.
+
+Grammar (statements are separated by newlines or semicolons)::
+
+    program    := statement*
+    statement  := IDENT '=' expr
+                | IDENT '[' expr ']' '=' expr
+    expr       := ternary
+    ternary    := or_expr ('?' expr ':' expr)?
+    or_expr    := xor_expr ('|' xor_expr)*
+    xor_expr   := and_expr ('^' and_expr)*
+    and_expr   := cmp_expr ('&' cmp_expr)*
+    cmp_expr   := shift_expr (('<' | '>' | '==' | '!=' | '<=' | '>=') shift_expr)*
+    shift_expr := add_expr (('<<' | '>>') add_expr)*
+    add_expr   := mul_expr (('+' | '-') mul_expr)*
+    mul_expr   := unary (('*' | '/' | '%') unary)*
+    unary      := '-' unary | primary
+    primary    := NUMBER | IDENT | IDENT '[' expr ']' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FrontendError
+from repro.frontend.ast_nodes import (
+    ArrayAssign,
+    ArrayRef,
+    BinaryOp,
+    Expr,
+    Number,
+    Program,
+    ScalarAssign,
+    Select,
+    Statement,
+    Variable,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+class Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not TokenKind.END:
+            self._position += 1
+        return token
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind is not kind or (text is not None and token.text != text):
+            expected = text or kind.value
+            raise FrontendError(
+                f"expected {expected!r} but found {token.text!r} "
+                f"at line {token.line}, column {token.column}"
+            )
+        return self._advance()
+
+    def _match_operator(self, *operators: str) -> Token | None:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in operators:
+            return self._advance()
+        return None
+
+    def _skip_newlines(self) -> None:
+        while self._peek().kind is TokenKind.NEWLINE:
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        statements: list[Statement] = []
+        self._skip_newlines()
+        while self._peek().kind is not TokenKind.END:
+            statements.append(self._parse_statement())
+            self._skip_newlines()
+        if not statements:
+            raise FrontendError("loop body contains no statements")
+        return Program(tuple(statements))
+
+    def _parse_statement(self) -> Statement:
+        name_token = self._expect(TokenKind.IDENT)
+        if self._peek().kind is TokenKind.LBRACKET:
+            self._advance()
+            index = self._parse_expr()
+            self._expect(TokenKind.RBRACKET)
+            self._expect(TokenKind.ASSIGN)
+            value = self._parse_expr()
+            return ArrayAssign(array=name_token.text, index=index, value=value)
+        self._expect(TokenKind.ASSIGN)
+        value = self._parse_expr()
+        return ScalarAssign(name=name_token.text, value=value)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing, lowest first)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        condition = self._parse_binary(0)
+        if self._peek().kind is TokenKind.QUESTION:
+            self._advance()
+            if_true = self._parse_expr()
+            self._expect(TokenKind.COLON)
+            if_false = self._parse_expr()
+            return Select(condition, if_true, if_false)
+        return condition
+
+    _PRECEDENCE: tuple[tuple[str, ...], ...] = (
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!=", "<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        while True:
+            token = self._match_operator(*self._PRECEDENCE[level])
+            if token is None:
+                return expr
+            rhs = self._parse_binary(level + 1)
+            expr = BinaryOp(token.text, expr, rhs)
+
+    def _parse_unary(self) -> Expr:
+        token = self._match_operator("-")
+        if token is not None:
+            operand = self._parse_unary()
+            return BinaryOp("-", Number(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Number(int(token.text))
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._peek().kind is TokenKind.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET)
+                return ArrayRef(token.text, index)
+            return Variable(token.text)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise FrontendError(
+            f"unexpected token {token.text!r} at line {token.line}, column {token.column}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse loop-kernel source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

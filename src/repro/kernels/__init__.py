@@ -1,0 +1,30 @@
+"""Benchmark loop kernels and synthetic DFG generators.
+
+:mod:`repro.kernels.suite` contains loop bodies modelled on the eleven
+MiBench / Rodinia kernels the paper evaluates (sha, gsm, patricia, bitcount,
+backprop, nw, srand, hotspot, sha2, basicmath, stringsearch); they are written
+in the front-end's loop language and compiled to DFGs on demand.
+
+:mod:`repro.kernels.generators` produces random DFGs (layered DAGs with
+optional accumulator recurrences) used by property-based tests and by the
+scalability ablations.
+"""
+
+from repro.kernels.generators import random_dfg, random_layered_dfg
+from repro.kernels.suite import (
+    KernelSpec,
+    all_kernel_names,
+    all_kernels,
+    get_kernel,
+    get_kernel_spec,
+)
+
+__all__ = [
+    "KernelSpec",
+    "all_kernel_names",
+    "all_kernels",
+    "get_kernel",
+    "get_kernel_spec",
+    "random_dfg",
+    "random_layered_dfg",
+]

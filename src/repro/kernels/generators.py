@@ -1,0 +1,94 @@
+"""Synthetic DFG generators.
+
+Used by property-based tests (random but structurally valid DFGs) and by the
+scalability ablation benchmarks (layered DAGs with a controlled node count,
+depth and fan-in, optionally closed by an accumulator recurrence).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dfg.graph import DFG, Opcode
+
+_ALU_OPCODES = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+)
+
+
+def random_dfg(
+    num_nodes: int,
+    edge_probability: float = 0.25,
+    back_edge_probability: float = 0.15,
+    seed: int | None = None,
+    name: str | None = None,
+) -> DFG:
+    """A random DFG whose forward edges follow the node-id order.
+
+    Forward edges only go from lower to higher node ids, which guarantees the
+    forward subgraph is acyclic; back edges (distance 1) go the other way with
+    probability ``back_edge_probability`` per node pair that already has a
+    forward path, modelling accumulator-style recurrences.
+    """
+    rng = random.Random(seed)
+    dfg = DFG(name=name or f"random_{num_nodes}_{seed}")
+    for node_id in range(num_nodes):
+        dfg.add_node(node_id, rng.choice(_ALU_OPCODES))
+    for dst in range(1, num_nodes):
+        # Ensure connectivity: every node has at least one predecessor.
+        src = rng.randrange(dst)
+        dfg.add_edge(src, dst)
+        for other in range(dst):
+            if other != src and rng.random() < edge_probability / max(1, dst):
+                dfg.add_edge(other, dst)
+    # A few loop-carried dependencies.
+    for src in range(1, num_nodes):
+        if rng.random() < back_edge_probability:
+            dst = rng.randrange(src)
+            dfg.add_edge(src, dst, distance=1)
+    dfg.validate()
+    return dfg
+
+
+def random_layered_dfg(
+    num_layers: int,
+    width: int,
+    fan_in: int = 2,
+    with_recurrence: bool = True,
+    seed: int | None = None,
+    name: str | None = None,
+) -> DFG:
+    """A layered DAG: every node reads ``fan_in`` values from the layer above.
+
+    Layered DFGs are the typical shape of unrolled arithmetic kernels and are
+    what the scalability benchmarks sweep over (``num_layers * width`` nodes,
+    critical path ``num_layers``).
+    """
+    rng = random.Random(seed)
+    dfg = DFG(name=name or f"layered_{num_layers}x{width}_{seed}")
+    layers: list[list[int]] = []
+    node_id = 0
+    for layer_index in range(num_layers):
+        layer: list[int] = []
+        for _ in range(width):
+            node = dfg.add_node(node_id, rng.choice(_ALU_OPCODES))
+            layer.append(node.node_id)
+            node_id += 1
+        if layer_index > 0:
+            for dst in layer:
+                sources = rng.sample(layers[-1], k=min(fan_in, len(layers[-1])))
+                for src in sources:
+                    dfg.add_edge(src, dst)
+        layers.append(layer)
+    if with_recurrence and num_layers > 1:
+        # Close an accumulator loop from a last-layer node to a first-layer one.
+        dfg.add_edge(layers[-1][0], layers[0][0], distance=1)
+    dfg.validate()
+    return dfg

@@ -1,0 +1,39 @@
+"""Boolean satisfiability substrate.
+
+This package is a self-contained SAT toolkit used by the SAT-MapIt core:
+
+* :mod:`repro.sat.cnf` — CNF formula container with DIMACS I/O.
+* :mod:`repro.sat.encodings` — cardinality encodings (at-most-one,
+  exactly-one) in pairwise, sequential and commander flavours.
+* :mod:`repro.sat.dpll` — a small, easy-to-audit DPLL solver used as a
+  reference oracle in tests.
+* :mod:`repro.sat.solver` — a CDCL solver (watched literals, 1-UIP clause
+  learning, VSIDS, phase saving, Luby restarts, LBD clause deletion) used for
+  production mapping runs.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negation of the corresponding variable.
+"""
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.dpll import DPLLSolver
+from repro.sat.encodings import (
+    AMOEncoding,
+    at_least_one,
+    at_most_one,
+    exactly_one,
+)
+from repro.sat.solver import CDCLSolver, SolverResult, SolverStats
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "AMOEncoding",
+    "at_least_one",
+    "at_most_one",
+    "exactly_one",
+    "DPLLSolver",
+    "CDCLSolver",
+    "SolverResult",
+    "SolverStats",
+]

@@ -1,0 +1,161 @@
+"""A compact DPLL solver used as a reference oracle.
+
+The CDCL solver in :mod:`repro.sat.solver` is the production engine; this
+module provides a deliberately simple Davis–Putnam–Logemann–Loveland solver
+(unit propagation + pure-literal elimination + chronological backtracking)
+whose correctness is easy to audit.  The test-suite cross-checks the two
+solvers on randomly generated formulas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sat.cnf import CNF
+
+
+class DPLLSolver:
+    """Recursive DPLL SAT solver.
+
+    Suitable for formulas up to a few hundred variables; intended for tests
+    and for tiny mapping instances, not for production mapping runs.
+    """
+
+    def __init__(self, max_decisions: int | None = None) -> None:
+        self._max_decisions = max_decisions
+        self._decisions = 0
+
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
+        """Return a satisfying assignment or ``None`` if unsatisfiable.
+
+        The returned assignment maps every variable of ``cnf`` to a boolean.
+        ``assumptions`` is a list of literals forced true before search.
+        """
+        self._decisions = 0
+        clauses = [list(clause) for clause in cnf.clauses]
+        assignment: dict[int, bool] = {}
+        for lit in assumptions:
+            var, value = abs(lit), lit > 0
+            if assignment.get(var, value) != value:
+                return None
+            assignment[var] = value
+        result = self._search(clauses, assignment)
+        if result is None:
+            return None
+        # Complete the model: unconstrained variables default to False.
+        for var in range(1, cnf.num_vars + 1):
+            result.setdefault(var, False)
+        return result
+
+    @property
+    def decisions(self) -> int:
+        """Number of branching decisions made during the last solve."""
+        return self._decisions
+
+    # ------------------------------------------------------------------
+    def _search(
+        self, clauses: list[list[int]], assignment: dict[int, bool]
+    ) -> dict[int, bool] | None:
+        clauses, assignment, conflict = _simplify(clauses, assignment)
+        if conflict:
+            return None
+        if not clauses:
+            return assignment
+        if self._max_decisions is not None and self._decisions >= self._max_decisions:
+            raise RuntimeError("DPLL decision budget exhausted")
+        self._decisions += 1
+        var = _pick_branch_variable(clauses)
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[var] = value
+            result = self._search([list(c) for c in clauses], trial)
+            if result is not None:
+                return result
+        return None
+
+
+def _simplify(
+    clauses: list[list[int]], assignment: dict[int, bool]
+) -> tuple[list[list[int]], dict[int, bool], bool]:
+    """Apply unit propagation and pure-literal elimination to a fixpoint.
+
+    Returns the simplified clause list, the extended assignment and a flag
+    that is ``True`` when a conflict (empty clause) was derived.
+    """
+    assignment = dict(assignment)
+    while True:
+        clauses, conflict = _reduce(clauses, assignment)
+        if conflict:
+            return clauses, assignment, True
+        unit = _find_unit(clauses)
+        if unit is not None:
+            assignment[abs(unit)] = unit > 0
+            continue
+        pure = _find_pure(clauses, assignment)
+        if pure is not None:
+            assignment[abs(pure)] = pure > 0
+            continue
+        return clauses, assignment, False
+
+
+def _reduce(
+    clauses: list[list[int]], assignment: dict[int, bool]
+) -> tuple[list[list[int]], bool]:
+    """Drop satisfied clauses and falsified literals; detect empty clauses."""
+    reduced: list[list[int]] = []
+    for clause in clauses:
+        new_clause: list[int] = []
+        satisfied = False
+        for lit in clause:
+            value = assignment.get(abs(lit))
+            if value is None:
+                new_clause.append(lit)
+            elif value == (lit > 0):
+                satisfied = True
+                break
+        if satisfied:
+            continue
+        if not new_clause:
+            return reduced, True
+        reduced.append(new_clause)
+    return reduced, False
+
+
+def _find_unit(clauses: list[list[int]]) -> int | None:
+    for clause in clauses:
+        if len(clause) == 1:
+            return clause[0]
+    return None
+
+
+def _find_pure(clauses: list[list[int]], assignment: dict[int, bool]) -> int | None:
+    polarity: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            var = abs(lit)
+            if var in assignment:
+                continue
+            sign = 1 if lit > 0 else -1
+            previous = polarity.get(var)
+            if previous is None:
+                polarity[var] = sign
+            elif previous != sign:
+                polarity[var] = 0
+    for var, sign in polarity.items():
+        if sign == 1:
+            return var
+        if sign == -1:
+            return -var
+    return None
+
+
+def _pick_branch_variable(clauses: list[list[int]]) -> int:
+    """Branch on the variable occurring most often in the shortest clauses."""
+    shortest = min(len(clause) for clause in clauses)
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        if len(clause) != shortest:
+            continue
+        for lit in clause:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    return max(counts, key=counts.get)  # type: ignore[arg-type]

@@ -1,0 +1,125 @@
+"""Cardinality encodings used by the SAT-MapIt CNF construction.
+
+The mapping formulation needs two cardinality shapes:
+
+* *exactly-one* over the literal set of each DFG node (constraint C1), and
+* *at-most-one* over each (PE, cycle) slot (constraint C2).
+
+Three at-most-one encodings are provided.  ``pairwise`` is the textbook
+quadratic encoding the paper describes; ``sequential`` (Sinz 2005) and
+``commander`` (Klieber & Kwon 2007) trade auxiliary variables for far fewer
+clauses and are what the production mapper uses for large slots.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from collections.abc import Sequence
+
+from repro.sat.cnf import CNF
+
+
+class AMOEncoding(str, Enum):
+    """Available at-most-one encodings."""
+
+    PAIRWISE = "pairwise"
+    SEQUENTIAL = "sequential"
+    COMMANDER = "commander"
+
+
+def at_least_one(cnf: CNF, literals: Sequence[int]) -> None:
+    """Add a clause requiring at least one of ``literals`` to be true.
+
+    An empty literal list adds the empty clause, making the formula UNSAT,
+    which is the correct semantics (no way to satisfy "at least one of
+    nothing").
+    """
+    cnf.add_clause(list(literals))
+
+
+def at_most_one(
+    cnf: CNF,
+    literals: Sequence[int],
+    encoding: AMOEncoding | str = AMOEncoding.SEQUENTIAL,
+) -> None:
+    """Constrain ``literals`` so that at most one of them is true."""
+    encoding = AMOEncoding(encoding)
+    lits = list(literals)
+    if len(lits) <= 1:
+        return
+    if encoding is AMOEncoding.PAIRWISE or len(lits) <= 4:
+        _amo_pairwise(cnf, lits)
+    elif encoding is AMOEncoding.SEQUENTIAL:
+        _amo_sequential(cnf, lits)
+    elif encoding is AMOEncoding.COMMANDER:
+        _amo_commander(cnf, lits)
+    else:  # pragma: no cover - enum exhausts the options
+        raise ValueError(f"unknown at-most-one encoding: {encoding}")
+
+
+def exactly_one(
+    cnf: CNF,
+    literals: Sequence[int],
+    encoding: AMOEncoding | str = AMOEncoding.SEQUENTIAL,
+) -> None:
+    """Constrain ``literals`` so that exactly one of them is true."""
+    at_least_one(cnf, literals)
+    at_most_one(cnf, literals, encoding)
+
+
+def _amo_pairwise(cnf: CNF, lits: list[int]) -> None:
+    """Quadratic pairwise at-most-one: ``¬a ∨ ¬b`` for every pair."""
+    for i in range(len(lits)):
+        for j in range(i + 1, len(lits)):
+            cnf.add_clause([-lits[i], -lits[j]])
+
+
+def _amo_sequential(cnf: CNF, lits: list[int]) -> None:
+    """Sinz sequential counter at-most-one.
+
+    Introduces ``n - 1`` auxiliary register variables ``s_i`` meaning "one of
+    the first ``i + 1`` literals is true" and chains them, producing ``3n - 4``
+    clauses.
+    """
+    n = len(lits)
+    regs = cnf.new_vars(n - 1)
+    cnf.add_clause([-lits[0], regs[0]])
+    cnf.add_clause([-lits[n - 1], -regs[n - 2]])
+    for i in range(1, n - 1):
+        cnf.add_clause([-lits[i], regs[i]])
+        cnf.add_clause([-regs[i - 1], regs[i]])
+        cnf.add_clause([-lits[i], -regs[i - 1]])
+
+
+def _amo_commander(cnf: CNF, lits: list[int], group_size: int = 4) -> None:
+    """Commander-variable at-most-one, recursing over literal groups."""
+    n = len(lits)
+    if n <= group_size + 1:
+        _amo_pairwise(cnf, lits)
+        return
+    commanders: list[int] = []
+    for start in range(0, n, group_size):
+        group = lits[start : start + group_size]
+        commander = cnf.new_var()
+        commanders.append(commander)
+        # At most one literal of the group is true.
+        _amo_pairwise(cnf, group)
+        # commander is true iff some group literal is true.
+        cnf.add_clause([-commander] + group)
+        for lit in group:
+            cnf.add_clause([commander, -lit])
+    _amo_commander(cnf, commanders, group_size)
+
+
+def count_true(literals: Sequence[int], assignment: dict[int, bool]) -> int:
+    """Count how many of ``literals`` are true under ``assignment``.
+
+    Utility for tests and for validating solver models against cardinality
+    constraints.
+    """
+    total = 0
+    for lit in literals:
+        value = assignment.get(abs(lit), False)
+        if value == (lit > 0):
+            total += 1
+    return total

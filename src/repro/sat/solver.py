@@ -1,0 +1,556 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+This is the production solving engine of the reproduction.  It implements the
+standard MiniSat-style architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with learned-clause minimisation,
+* VSIDS variable activities with exponential decay,
+* phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction driven by LBD (literals blocks distance).
+
+The public interface is intentionally small: :meth:`CDCLSolver.solve` takes a
+:class:`repro.sat.cnf.CNF` plus optional assumptions and returns a
+:class:`SolverResult` carrying the status, a model (when SAT) and statistics.
+
+Internally literals are re-encoded as ``2 * var`` (positive) and
+``2 * var + 1`` (negative); truth values are kept in a literal-indexed array
+so the propagation loop runs on flat list accesses only (this matters: the
+whole mapper is pure Python and unit propagation is its hottest loop).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.sat.cnf import CNF
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work done by a single ``solve`` call."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+    solve_time: float = 0.0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a ``solve`` call.
+
+    ``status`` is one of ``"SAT"``, ``"UNSAT"`` or ``"UNKNOWN"`` (the latter
+    when a conflict or time budget was exhausted).  ``model`` maps every
+    problem variable to a boolean when the status is ``"SAT"``.
+    """
+
+    status: str
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "SAT"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "UNSAT"
+
+
+class _Clause:
+    """Internal clause representation with learning metadata."""
+
+    __slots__ = ("lits", "learned", "lbd", "activity")
+
+    def __init__(self, lits: list[int], learned: bool = False, lbd: int = 0) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """A CDCL SAT solver with VSIDS, restarts and clause deletion."""
+
+    def __init__(
+        self,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        restart_base: int = 100,
+        learned_limit_base: int = 4000,
+        random_seed: int | None = None,
+        initial_phase: bool = False,
+        activity_hints: dict[int, float] | None = None,
+        phase_hints: dict[int, bool] | None = None,
+    ) -> None:
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+        self.restart_base = restart_base
+        self.learned_limit_base = learned_limit_base
+        self.random_seed = random_seed
+        #: Polarity tried first for a variable that has never been assigned.
+        #: ``True`` makes the search constructive (useful for placement-style
+        #: exactly-one formulas), ``False`` is the classic MiniSat default.
+        self.initial_phase = initial_phase
+        #: Optional VSIDS warm start: variables with larger values are
+        #: branched on first until conflict-driven activity takes over.
+        self.activity_hints = activity_hints or {}
+        #: Optional per-variable initial polarity (overrides initial_phase).
+        self.phase_hints = phase_hints or {}
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolverResult:
+        """Decide satisfiability of ``cnf`` under optional ``assumptions``.
+
+        ``conflict_limit`` and ``time_limit`` (seconds) bound the search; when
+        either budget is exhausted the result status is ``"UNKNOWN"``.
+        """
+        start = time.perf_counter()
+        self.stats = SolverStats()
+        self._init(cnf)
+
+        status = self._add_problem_clauses(cnf)
+        if status == "UNSAT":
+            self.stats.solve_time = time.perf_counter() - start
+            return SolverResult("UNSAT", None, self.stats)
+
+        assumption_lits = [self._to_internal(lit) for lit in assumptions]
+        status = self._search(assumption_lits, conflict_limit, time_limit, start)
+
+        self.stats.solve_time = time.perf_counter() - start
+        if status == "SAT":
+            model = {
+                var: self._value[2 * var] == _TRUE
+                for var in range(1, self._nvars + 1)
+            }
+            return SolverResult("SAT", model, self.stats)
+        return SolverResult(status, None, self.stats)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _init(self, cnf: CNF) -> None:
+        nvars = cnf.num_vars
+        self._nvars = nvars
+        #: literal-indexed truth values (index 2v / 2v+1)
+        self._value = [_UNASSIGNED] * (2 * nvars + 2)
+        self._level = [0] * (nvars + 1)
+        self._reason: list[_Clause | None] = [None] * (nvars + 1)
+        self._activity = [0.0] * (nvars + 1)
+        self._phase = [self.initial_phase] * (nvars + 1)
+        for var, value in self.activity_hints.items():
+            if 1 <= var <= nvars:
+                self._activity[var] = float(value)
+        for var, polarity in self.phase_hints.items():
+            if 1 <= var <= nvars:
+                self._phase[var] = bool(polarity)
+        self._watches: list[list[_Clause]] = [[] for _ in range(2 * nvars + 2)]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._clauses: list[_Clause] = []
+        self._learned: list[_Clause] = []
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._seen = [False] * (nvars + 1)
+        self._order: list[tuple[float, int]] = [
+            (-self._activity[var], var) for var in range(1, nvars + 1)
+        ]
+        heapq.heapify(self._order)
+
+    @staticmethod
+    def _to_internal(lit: int) -> int:
+        var = abs(lit)
+        return 2 * var if lit > 0 else 2 * var + 1
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def _add_problem_clauses(self, cnf: CNF) -> str:
+        for clause in cnf.clauses:
+            lits = [self._to_internal(lit) for lit in clause]
+            if not lits:
+                return "UNSAT"
+            if len(lits) == 1:
+                if not self._enqueue(lits[0], None):
+                    return "UNSAT"
+                continue
+            self._attach_clause(_Clause(lits))
+        if self._propagate() is not None:
+            return "UNSAT"
+        return "UNKNOWN"
+
+    def _attach_clause(self, clause: _Clause) -> None:
+        lits = clause.lits
+        self._watches[lits[0] ^ 1].append(clause)
+        self._watches[lits[1] ^ 1].append(clause)
+        if clause.learned:
+            self._learned.append(clause)
+        else:
+            self._clauses.append(clause)
+
+    def _detach_clause(self, clause: _Clause) -> None:
+        for watched in (clause.lits[0], clause.lits[1]):
+            watch_list = self._watches[watched ^ 1]
+            if clause in watch_list:
+                watch_list.remove(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment and propagation
+    # ------------------------------------------------------------------
+    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+        value = self._value[lit]
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        var = lit >> 1
+        self._value[lit] = _TRUE
+        self._value[lit ^ 1] = _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = (lit & 1) == 0
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        value = self._value
+        watches = self._watches
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        trail_lim_len = len(self._trail_lim)
+        propagations = 0
+
+        qhead = self._qhead
+        conflict: _Clause | None = None
+        while conflict is None and qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            propagations += 1
+            false_lit = lit ^ 1
+            watch_list = watches[lit]
+            new_watch_list: list[_Clause] = []
+            append_kept = new_watch_list.append
+            count = len(watch_list)
+            index = 0
+            while index < count:
+                clause = watch_list[index]
+                index += 1
+                lits = clause.lits
+                # Ensure the falsified literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                if value[first] == _TRUE:
+                    append_kept(clause)
+                    continue
+                # Search for a replacement watch.
+                found = False
+                for position in range(2, len(lits)):
+                    candidate = lits[position]
+                    if value[candidate] != _FALSE:
+                        lits[1] = candidate
+                        lits[position] = false_lit
+                        watches[candidate ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                append_kept(clause)
+                if value[first] == _FALSE:
+                    conflict = clause
+                    new_watch_list.extend(watch_list[index:])
+                    break
+                # Unit: enqueue ``first`` (inlined _enqueue on unassigned lit).
+                var = first >> 1
+                value[first] = _TRUE
+                value[first ^ 1] = _FALSE
+                level[var] = trail_lim_len
+                reason[var] = clause
+                phase[var] = (first & 1) == 0
+                trail.append(first)
+            watches[lit] = new_watch_list
+
+        self._qhead = len(trail) if conflict is not None else qhead
+        self.stats.propagations += propagations
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (internal literals, asserting literal
+        first), the backtrack level and the clause's LBD.
+        """
+        learned: list[int] = [0]
+        seen = self._seen
+        counter = 0
+        lit = -1
+        clause: _Clause | None = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 0 if lit == -1 else 1
+            for position in range(start, len(clause.lits)):
+                other = clause.lits[position]
+                var = other >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Find the next literal on the trail to resolve on.
+            while not seen[self._trail[trail_index] >> 1]:
+                trail_index -= 1
+            lit = self._trail[trail_index]
+            trail_index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[var]
+        learned[0] = lit ^ 1
+
+        # Learned clause minimisation: drop literals implied by the rest.
+        original = list(learned)
+        reduced = [learned[0]]
+        for other in learned[1:]:
+            if not self._redundant(other):
+                reduced.append(other)
+        learned = reduced
+
+        for other in original:
+            self._seen[other >> 1] = False
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            max_index = 1
+            max_level = self._level[learned[1] >> 1]
+            for position in range(2, len(learned)):
+                level = self._level[learned[position] >> 1]
+                if level > max_level:
+                    max_level = level
+                    max_index = position
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            backtrack_level = max_level
+
+        levels = {self._level[other >> 1] for other in learned}
+        return learned, backtrack_level, len(levels)
+
+    def _redundant(self, lit: int) -> bool:
+        """Cheap (non-recursive) redundancy check for clause minimisation."""
+        reason = self._reason[lit >> 1]
+        if reason is None:
+            return False
+        for other in reason.lits:
+            var = other >> 1
+            if var == lit >> 1:
+                continue
+            if not self._seen[var] and self._level[var] != 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._nvars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self.var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self.clause_decay
+
+    # ------------------------------------------------------------------
+    # Backtracking and decisions
+    # ------------------------------------------------------------------
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        order = self._order
+        value = self._value
+        activity = self._activity
+        for position in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[position]
+            var = lit >> 1
+            value[lit] = _UNASSIGNED
+            value[lit ^ 1] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(order, (-activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch_literal(self) -> int | None:
+        order = self._order
+        value = self._value
+        while order:
+            _, var = heapq.heappop(order)
+            if value[2 * var] == _UNASSIGNED:
+                return 2 * var if self._phase[var] else 2 * var + 1
+        for var in range(1, self._nvars + 1):
+            if value[2 * var] == _UNASSIGNED:
+                return 2 * var if self._phase[var] else 2 * var + 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learned(self) -> None:
+        self._learned.sort(key=lambda c: (c.lbd, -c.activity))
+        keep = len(self._learned) // 2
+        removable = self._learned[keep:]
+        self._learned = self._learned[:keep]
+        locked = {
+            id(self._reason[lit >> 1]) for lit in self._trail if self._reason[lit >> 1]
+        }
+        for clause in removable:
+            if id(clause) in locked or clause.lbd <= 2:
+                self._learned.append(clause)
+                continue
+            self._detach_clause(clause)
+            self.stats.deleted_clauses += 1
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        assumptions: list[int],
+        conflict_limit: int | None,
+        time_limit: float | None,
+        start_time: float,
+    ) -> str:
+        restart_conflicts = self.restart_base * _luby(self.stats.restarts + 1)
+        conflicts_since_restart = 0
+        learned_limit = self.learned_limit_base
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return "UNSAT"
+                learned, backtrack_level, lbd = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(learned, learned=True, lbd=lbd)
+                    self._attach_clause(clause)
+                    self.stats.learned_clauses += 1
+                    self._enqueue(learned[0], clause)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+
+                if conflict_limit is not None and self.stats.conflicts >= conflict_limit:
+                    return "UNKNOWN"
+                if time_limit is not None and (self.stats.conflicts & 127) == 0:
+                    if time.perf_counter() - start_time > time_limit:
+                        return "UNKNOWN"
+                continue
+
+            # No conflict: maybe restart / reduce / decide.
+            if conflicts_since_restart >= restart_conflicts:
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_conflicts = self.restart_base * _luby(self.stats.restarts + 1)
+                self._backtrack(0)
+
+            if len(self._learned) > learned_limit:
+                self._reduce_learned()
+                learned_limit += self.learned_limit_base // 2
+
+            if time_limit is not None and time.perf_counter() - start_time > time_limit:
+                return "UNKNOWN"
+
+            # Assumption handling: replay any assumption not yet satisfied.
+            next_decision: int | None = None
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value[lit]
+                if value == _FALSE:
+                    return "UNSAT"
+                if value == _TRUE:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                next_decision = lit
+
+            if next_decision is None:
+                next_decision = self._pick_branch_literal()
+                if next_decision is None:
+                    return "SAT"
+
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            self._enqueue(next_decision, None)
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, …  (1-based index)."""
+    if index < 1:
+        raise ValueError(f"Luby index must be >= 1, got {index}")
+    while True:
+        k = index.bit_length()
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        index = index - (1 << (k - 1)) + 1

@@ -1,0 +1,52 @@
+"""Tests for the exhaustive oracle mapper."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveMapper
+from repro.cgra.architecture import CGRA
+from repro.dfg.graph import DFG
+from repro.exceptions import MappingError
+
+
+def chain(n):
+    return DFG.from_edge_list("chain", n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestExhaustiveMapper:
+    def test_single_node(self):
+        outcome = ExhaustiveMapper().map(DFG.from_edge_list("one", 1, []), CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 1
+
+    def test_chain_optimal_ii(self):
+        outcome = ExhaustiveMapper().map(chain(3), CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 1
+        assert outcome.mapping.violations() == []
+
+    def test_independent_nodes_need_ii_two(self):
+        dfg = DFG.from_edge_list("independent", 5, [])
+        outcome = ExhaustiveMapper().map(dfg, CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 2
+
+    def test_recurrence_respected(self):
+        dfg = DFG.from_edge_list("rec", 3, [(0, 1), (1, 2), (2, 0, 1)])
+        outcome = ExhaustiveMapper().map(dfg, CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 3
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(MappingError):
+            ExhaustiveMapper(max_nodes=3).map(chain(4), CGRA.square(2))
+
+    def test_failure_when_ii_cap_too_small(self):
+        dfg = DFG.from_edge_list("independent", 5, [])
+        outcome = ExhaustiveMapper(max_ii=1).map(dfg, CGRA(rows=1, cols=1))
+        assert not outcome.success
+
+    def test_respects_output_register_model(self):
+        dfg = DFG.from_edge_list("fan", 3, [(0, 1), (0, 2)])
+        strict = ExhaustiveMapper(enforce_output_register=True).map(dfg, CGRA.square(2))
+        assert strict.success
+        assert strict.mapping.violations(check_overwrite=True) == []

@@ -1,0 +1,81 @@
+"""Tests for the RAMP-like and PathSeeker-like baseline mappers."""
+
+import pytest
+
+from repro.baselines import BaselineConfig, PathSeekerMapper, RampMapper
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import SatMapItMapper
+from repro.dfg.graph import paper_running_example
+from repro.kernels import get_kernel
+
+SMALL_KERNELS = ["srand", "basicmath", "stringsearch"]
+
+
+@pytest.mark.parametrize("mapper_cls", [RampMapper, PathSeekerMapper])
+class TestCommonBehaviour:
+    def test_maps_running_example(self, mapper_cls):
+        outcome = mapper_cls().map(paper_running_example(), CGRA.square(2))
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+        assert outcome.ii >= outcome.minimum_ii
+
+    @pytest.mark.parametrize("kernel", SMALL_KERNELS)
+    def test_maps_small_benchmark_kernels(self, mapper_cls, kernel):
+        outcome = mapper_cls(BaselineConfig(timeout=30)).map(
+            get_kernel(kernel), CGRA.square(3)
+        )
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+
+    def test_register_allocation_attached(self, mapper_cls):
+        outcome = mapper_cls().map(paper_running_example(), CGRA.square(2))
+        assert outcome.register_allocation is not None
+        assert outcome.register_allocation.success
+
+    def test_never_better_than_sat_mapper(self, mapper_cls):
+        """On the running example the exact mapper is at least as good."""
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        sat = SatMapItMapper().map(dfg, cgra)
+        heuristic = mapper_cls().map(dfg, cgra)
+        assert sat.success
+        if heuristic.success:
+            assert sat.ii <= heuristic.ii
+
+
+class TestRampSpecifics:
+    def test_deterministic_across_runs(self):
+        dfg = get_kernel("srand")
+        cgra = CGRA.square(2)
+        first = RampMapper().map(dfg, cgra)
+        second = RampMapper().map(dfg, cgra)
+        assert first.ii == second.ii
+
+    def test_priority_portfolio_varies_by_attempt(self):
+        import random
+
+        mapper = RampMapper()
+        dfg = paper_running_example()
+        rng = random.Random(0)
+        priorities = [mapper._priorities(dfg, 3, attempt, rng) for attempt in range(5)]
+        assert priorities[0] != priorities[1]
+        assert priorities[0] != priorities[2]
+
+
+class TestPathSeekerSpecifics:
+    def test_seed_controls_randomisation(self):
+        dfg = get_kernel("basicmath")
+        cgra = CGRA.square(2)
+        a = PathSeekerMapper(BaselineConfig(random_seed=1)).map(dfg, cgra)
+        b = PathSeekerMapper(BaselineConfig(random_seed=1)).map(dfg, cgra)
+        assert a.ii == b.ii
+
+    def test_priorities_randomised_after_first_attempt(self):
+        import random
+
+        mapper = PathSeekerMapper()
+        dfg = paper_running_example()
+        rng = random.Random(0)
+        first = mapper._priorities(dfg, 3, 0, rng)
+        later = mapper._priorities(dfg, 3, 2, rng)
+        assert first != later

@@ -1,0 +1,146 @@
+"""Tests for the CGRA architecture model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.topology import Topology
+from repro.exceptions import ArchitectureError
+
+
+class TestConstruction:
+    def test_defaults_match_paper_setup(self):
+        cgra = CGRA()
+        assert cgra.rows == 4 and cgra.cols == 4
+        assert cgra.registers_per_pe == 4
+        assert cgra.topology is Topology.MESH
+
+    def test_square_factory(self):
+        for size in (2, 3, 4, 5):
+            cgra = CGRA.square(size)
+            assert cgra.num_pes == size * size
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CGRA(rows=0, cols=3)
+
+    def test_invalid_registers_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CGRA(registers_per_pe=0)
+
+    def test_name_and_describe(self):
+        cgra = CGRA.square(3)
+        assert cgra.name == "cgra_3x3"
+        assert "9 PEs" in cgra.describe()
+        assert str(cgra) == cgra.describe()
+
+    def test_topology_accepts_string(self):
+        cgra = CGRA(rows=2, cols=2, topology="torus")
+        assert cgra.topology is Topology.TORUS
+
+
+class TestGeometry:
+    def test_pe_index_round_trip(self):
+        cgra = CGRA(rows=3, cols=5)
+        for pe in range(cgra.num_pes):
+            assert cgra.pe_index(cgra.pe_position(pe)) == pe
+
+    def test_row_major_order(self):
+        cgra = CGRA(rows=2, cols=3)
+        assert cgra.pe_index((0, 0)) == 0
+        assert cgra.pe_index((0, 2)) == 2
+        assert cgra.pe_index((1, 0)) == 3
+
+    def test_pe_lookup_out_of_range(self):
+        cgra = CGRA.square(2)
+        with pytest.raises(ArchitectureError):
+            cgra.pe(4)
+        with pytest.raises(ArchitectureError):
+            cgra.pe_index((2, 0))
+
+    def test_pe_objects(self):
+        cgra = CGRA.square(2)
+        pe = cgra.pe(3)
+        assert pe.position == (1, 1)
+        assert pe.num_registers == 4
+        assert pe.name == "PE[1,1]"
+
+
+class TestConnectivity:
+    def test_neighbours_include_self_by_default(self):
+        cgra = CGRA.square(3)
+        assert 4 in cgra.neighbours(4)
+        assert 4 not in cgra.neighbours(4, include_self=False)
+
+    def test_mesh_neighbours_of_centre(self):
+        cgra = CGRA.square(3)
+        assert set(cgra.neighbours(4, include_self=False)) == {1, 3, 5, 7}
+
+    def test_are_neighbours_symmetric(self):
+        cgra = CGRA.square(4)
+        for a in range(cgra.num_pes):
+            for b in range(cgra.num_pes):
+                assert cgra.are_neighbours(a, b) == cgra.are_neighbours(b, a)
+
+    def test_same_pe_controlled_by_flag(self):
+        cgra = CGRA.square(2)
+        assert cgra.are_neighbours(0, 0)
+        assert not cgra.are_neighbours(0, 0, include_self=False)
+
+    def test_distance(self):
+        cgra = CGRA.square(4)
+        assert cgra.distance(0, 15) == 6
+        assert cgra.distance(5, 5) == 0
+
+    def test_full_topology_all_neighbours(self):
+        cgra = CGRA(rows=2, cols=2, topology=Topology.FULL)
+        assert set(cgra.neighbours(0)) == {0, 1, 2, 3}
+
+
+class TestSymmetries:
+    def test_square_grid_has_eight_symmetries(self):
+        assert len(CGRA.square(3).symmetries) == 8
+
+    def test_rectangular_grid_has_four_symmetries(self):
+        assert len(CGRA(rows=2, cols=3).symmetries) == 4
+
+    def test_symmetries_are_permutations(self):
+        cgra = CGRA.square(3)
+        for permutation in cgra.symmetries:
+            assert sorted(permutation) == list(range(cgra.num_pes))
+
+    def test_symmetries_preserve_neighbourhood(self):
+        """Every symmetry is a graph automorphism of the interconnect."""
+        for cgra in (CGRA.square(3), CGRA(rows=2, cols=4), CGRA.square(4, topology="torus")):
+            for permutation in cgra.symmetries:
+                for a in range(cgra.num_pes):
+                    for b in range(cgra.num_pes):
+                        assert cgra.are_neighbours(a, b) == cgra.are_neighbours(
+                            permutation[a], permutation[b]
+                        )
+
+    def test_fundamental_domain_covers_all_orbits(self):
+        for size in (2, 3, 4, 5):
+            cgra = CGRA.square(size)
+            domain = set(cgra.symmetry_fundamental_domain())
+            for pe in range(cgra.num_pes):
+                orbit = {permutation[pe] for permutation in cgra.symmetries}
+                assert orbit & domain, f"PE {pe} orbit misses the domain"
+
+    def test_fundamental_domain_is_smaller_than_grid(self):
+        cgra = CGRA.square(4)
+        assert len(cgra.symmetry_fundamental_domain()) < cgra.num_pes
+
+    def test_full_topology_domain_is_single_pe(self):
+        cgra = CGRA(rows=2, cols=2, topology=Topology.FULL)
+        assert cgra.symmetry_fundamental_domain() == (0,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(1, 5), cols=st.integers(1, 5))
+def test_neighbour_table_consistent_with_topology(rows, cols):
+    cgra = CGRA(rows=rows, cols=cols)
+    for pe in range(cgra.num_pes):
+        for other in cgra.neighbours(pe, include_self=False):
+            assert cgra.distance(pe, other) == 1

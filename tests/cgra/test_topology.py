@@ -1,0 +1,69 @@
+"""Tests for interconnect topologies."""
+
+import pytest
+
+from repro.cgra.topology import Topology, manhattan_distance, neighbourhood
+from repro.exceptions import ArchitectureError
+
+
+class TestMesh:
+    def test_corner_neighbourhood(self):
+        assert neighbourhood((0, 0), 3, 3) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_centre_neighbourhood(self):
+        neighbours = neighbourhood((1, 1), 3, 3)
+        assert set(neighbours) == {(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_exclude_self(self):
+        neighbours = neighbourhood((1, 1), 3, 3, include_self=False)
+        assert (1, 1) not in neighbours
+        assert len(neighbours) == 4
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ArchitectureError):
+            neighbourhood((3, 0), 3, 3)
+
+    def test_single_pe_grid(self):
+        assert neighbourhood((0, 0), 1, 1) == [(0, 0)]
+
+
+class TestTorus:
+    def test_wraparound(self):
+        neighbours = neighbourhood((0, 0), 3, 3, Topology.TORUS)
+        assert (2, 0) in neighbours
+        assert (0, 2) in neighbours
+        assert len(neighbours) == 5
+
+    def test_2x2_torus_fully_connected(self):
+        neighbours = neighbourhood((0, 0), 2, 2, Topology.TORUS)
+        assert set(neighbours) == {(0, 0), (0, 1), (1, 0)}
+
+
+class TestDiagonal:
+    def test_centre_has_eight_neighbours(self):
+        neighbours = neighbourhood((1, 1), 3, 3, Topology.DIAGONAL)
+        assert len(neighbours) == 9  # 8 neighbours + self
+
+    def test_corner_has_three_neighbours(self):
+        neighbours = neighbourhood((0, 0), 3, 3, Topology.DIAGONAL, include_self=False)
+        assert set(neighbours) == {(0, 1), (1, 0), (1, 1)}
+
+
+class TestFull:
+    def test_all_positions_reachable(self):
+        neighbours = neighbourhood((0, 0), 2, 3, Topology.FULL)
+        assert len(neighbours) == 6
+
+    def test_exclude_self(self):
+        neighbours = neighbourhood((0, 0), 2, 2, Topology.FULL, include_self=False)
+        assert (0, 0) not in neighbours
+        assert len(neighbours) == 3
+
+
+class TestHelpers:
+    def test_topology_from_string(self):
+        assert neighbourhood((0, 0), 2, 2, "mesh") == neighbourhood((0, 0), 2, 2)
+
+    def test_manhattan_distance(self):
+        assert manhattan_distance((0, 0), (2, 3)) == 5
+        assert manhattan_distance((1, 1), (1, 1)) == 0

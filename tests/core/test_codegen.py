@@ -1,0 +1,116 @@
+"""Tests for prologue / kernel / epilogue code generation."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.codegen import generate_program
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.core.mapping import Mapping
+from repro.dfg.graph import DFG, paper_running_example
+from repro.exceptions import MappingError
+from repro.kernels import get_kernel
+
+
+def running_example_program():
+    outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+    return outcome, generate_program(outcome.mapping, outcome.register_allocation)
+
+
+class TestStageStructure:
+    def test_kernel_is_ii_cycles_and_contains_every_node_once(self):
+        outcome, program = running_example_program()
+        assert program.kernel.num_cycles == outcome.ii
+        assert program.kernel.num_instructions == outcome.mapping.dfg.num_nodes
+
+    def test_kernel_matches_mapping_placements(self):
+        outcome, program = running_example_program()
+        for placement in outcome.mapping.placements.values():
+            slot = program.kernel.rows[placement.cycle][placement.pe]
+            assert slot is not None
+            assert slot.node_id == placement.node_id
+
+    def test_prologue_and_epilogue_lengths(self):
+        outcome, program = running_example_program()
+        mapping = outcome.mapping
+        assert program.prologue.num_cycles == (mapping.num_kernel_iterations - 1) * outcome.ii
+        assert program.epilogue.num_cycles == mapping.schedule_length - outcome.ii
+
+    def test_prologue_plus_epilogue_cover_all_ramp_instructions(self):
+        """Every instruction of the flat schedule outside one kernel instance
+        appears exactly once in the prologue and once in the epilogue window
+        that drains it."""
+        outcome, program = running_example_program()
+        mapping = outcome.mapping
+        flat_before_steady = sum(
+            1
+            for placement in mapping.placements.values()
+            for started in range(mapping.num_kernel_iterations - 1)
+            if placement.flat_time(outcome.ii) + started * outcome.ii
+            < program.prologue.num_cycles
+        )
+        assert program.prologue.num_instructions == flat_before_steady
+
+    def test_registers_attached_when_allocation_given(self):
+        outcome, program = running_example_program()
+        allocated_nodes = set(outcome.register_allocation.assignment)
+        recorded = {
+            slot.node_id
+            for row in program.kernel.rows
+            for slot in row
+            if slot is not None and slot.register is not None
+        }
+        assert recorded == allocated_nodes
+
+    def test_total_cycles_formula(self):
+        outcome, program = running_example_program()
+        mapping = outcome.mapping
+        in_flight = mapping.num_kernel_iterations
+        for iterations in (in_flight, in_flight + 1, in_flight + 10):
+            expected = mapping.schedule_length + (iterations - 1) * outcome.ii
+            assert program.total_cycles(iterations) == expected
+
+    def test_total_cycles_rejects_non_positive(self):
+        _, program = running_example_program()
+        with pytest.raises(MappingError):
+            program.total_cycles(0)
+
+    def test_render_contains_all_stages(self):
+        _, program = running_example_program()
+        text = program.render()
+        assert "prologue" in text
+        assert "kernel" in text
+        assert "epilogue" in text
+
+
+class TestCodegenOnKernels:
+    @pytest.mark.parametrize("kernel", ["srand", "stringsearch"])
+    def test_benchmark_kernel_codegen(self, kernel):
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(
+            get_kernel(kernel), CGRA.square(3)
+        )
+        program = generate_program(outcome.mapping, outcome.register_allocation)
+        assert program.kernel.num_instructions == outcome.mapping.dfg.num_nodes
+        assert program.ii == outcome.ii
+
+    def test_single_iteration_in_flight_has_empty_prologue(self):
+        dfg = DFG.from_edge_list("flat", 4, [])
+        outcome = SatMapItMapper().map(dfg, CGRA.square(2))
+        program = generate_program(outcome.mapping)
+        assert outcome.mapping.num_kernel_iterations == 1
+        assert program.prologue.num_cycles == 0
+        assert program.prologue.render().endswith("(empty)")
+
+
+class TestErrors:
+    def test_empty_mapping_rejected(self):
+        mapping = Mapping(DFG.from_edge_list("one", 1, []), CGRA.square(2), ii=1)
+        with pytest.raises(MappingError):
+            generate_program(mapping)
+
+    def test_illegal_mapping_rejected(self):
+        dfg = DFG.from_edge_list("pair", 2, [(0, 1)])
+        mapping = Mapping(dfg, CGRA.square(3), ii=2)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=8, cycle=1)  # not neighbours
+        with pytest.raises(MappingError):
+            generate_program(mapping)

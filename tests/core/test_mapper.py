@@ -1,0 +1,200 @@
+"""Tests for the iterative SAT-MapIt mapping driver."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveMapper
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.dfg.graph import DFG, paper_running_example
+from repro.frontend import compile_loop
+from repro.kernels import get_kernel
+
+
+def chain(n):
+    return DFG.from_edge_list("chain", n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestRunningExample:
+    def test_maps_on_2x2_with_paper_ii(self):
+        """The paper's running example maps on a 2x2 CGRA with II = 3."""
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 3
+        assert outcome.minimum_ii == 3
+        assert outcome.mapping is not None
+        assert outcome.mapping.violations() == []
+
+    def test_register_allocation_succeeds(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        assert outcome.register_allocation is not None
+        assert outcome.register_allocation.success
+        assert outcome.mapping.registers  # register assignment recorded
+
+    def test_larger_fabric_reaches_lower_ii(self):
+        small = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        large = SatMapItMapper().map(paper_running_example(), CGRA.square(4))
+        assert large.success
+        assert large.ii <= small.ii
+
+
+class TestBasicBehaviour:
+    def test_single_node(self):
+        dfg = DFG.from_edge_list("one", 1, [])
+        outcome = SatMapItMapper().map(dfg, CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 1
+
+    def test_chain_on_single_pe(self):
+        outcome = SatMapItMapper().map(chain(3), CGRA(rows=1, cols=1))
+        assert outcome.success
+        assert outcome.ii == 3
+
+    def test_independent_nodes_fill_kernel(self):
+        dfg = DFG.from_edge_list("independent", 8, [])
+        outcome = SatMapItMapper().map(dfg, CGRA.square(2))
+        assert outcome.success
+        assert outcome.ii == 2  # 8 nodes / 4 PEs
+
+    def test_recurrence_bounds_ii(self):
+        dfg = DFG.from_edge_list("rec", 4, [(0, 1), (1, 2), (2, 3), (3, 0, 1)])
+        outcome = SatMapItMapper().map(dfg, CGRA.square(4))
+        assert outcome.success
+        assert outcome.ii >= 4  # RecMII = 4
+
+    def test_start_ii_override(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2), start_ii=5)
+        assert outcome.success
+        assert outcome.ii == 5
+
+    def test_outcome_summary_strings(self):
+        outcome = SatMapItMapper().map(chain(2), CGRA.square(2))
+        assert "II=" in outcome.summary()
+        assert outcome.final_status == "mapped"
+
+    def test_attempt_records(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        assert outcome.attempts
+        final = outcome.attempts[-1]
+        assert final.status == "SAT"
+        assert final.num_variables > 0
+        assert final.num_clauses > 0
+
+
+class TestMappingsAreLegal:
+    @pytest.mark.parametrize("kernel,size", [
+        ("srand", 2), ("basicmath", 3), ("stringsearch", 2), ("nw", 3),
+    ])
+    def test_benchmark_kernels_map_legally(self, kernel, size):
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(
+            get_kernel(kernel), CGRA.square(size)
+        )
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+        assert outcome.ii >= outcome.minimum_ii
+
+    def test_compiled_loop_end_to_end(self):
+        dfg = compile_loop("acc = acc + a[i] * b[i]", name="dot")
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(dfg, CGRA.square(3))
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+
+
+class TestFailureModes:
+    def test_max_ii_reached_reports_failure(self):
+        # Five independent nodes cannot fit a single-PE CGRA with max_ii 3.
+        dfg = DFG.from_edge_list("five", 5, [])
+        config = MapperConfig(max_ii=3, max_extra_slack=0)
+        outcome = SatMapItMapper(config).map(dfg, CGRA(rows=1, cols=1))
+        assert not outcome.success
+        assert outcome.final_status == "failed"
+        assert all(a.status in ("UNSAT", "UNKNOWN") for a in outcome.attempts)
+
+    def test_timeout_reported(self):
+        config = MapperConfig(timeout=0.0)
+        outcome = SatMapItMapper(config).map(get_kernel("gsm"), CGRA.square(3))
+        assert not outcome.success
+        assert outcome.final_status == "timeout"
+
+    def test_invalid_dfg_rejected(self):
+        dfg = DFG()
+        dfg.add_node(0)
+        dfg.add_node(1)
+        dfg.add_edge(0, 1)
+        dfg.add_edge(1, 0)  # forward cycle
+        from repro.exceptions import DFGError
+
+        with pytest.raises(DFGError):
+            SatMapItMapper().map(dfg, CGRA.square(2))
+
+    def test_register_pressure_increases_ii(self):
+        # One register per PE forces serialisation of long-lived values.
+        dfg = compile_loop("acc = acc + a[i] * b[i] + c[i]", name="pressure")
+        rich = SatMapItMapper().map(dfg, CGRA.square(3, registers_per_pe=8))
+        poor = SatMapItMapper().map(dfg, CGRA.square(3, registers_per_pe=1))
+        assert rich.success
+        if poor.success:
+            assert poor.ii >= rich.ii
+
+
+class TestOptimality:
+    """The SAT mapper finds the same optimal II as exhaustive enumeration."""
+
+    @pytest.mark.parametrize("edges,num_nodes", [
+        ([(0, 1), (1, 2)], 3),
+        ([(0, 1), (0, 2), (1, 3), (2, 3)], 4),
+        ([(0, 1), (1, 2), (2, 0, 1)], 3),
+        ([], 5),
+    ])
+    def test_matches_exhaustive_oracle_on_2x2(self, edges, num_nodes):
+        dfg = DFG.from_edge_list("tiny", num_nodes, edges)
+        cgra = CGRA.square(2)
+        sat = SatMapItMapper().map(dfg, cgra)
+        oracle = ExhaustiveMapper(max_ii=6, timeout=30).map(dfg, cgra)
+        assert sat.success and oracle.success
+        assert sat.ii == oracle.ii
+
+
+class TestConfigurationVariants:
+    def test_strict_output_register_model_never_beats_relaxed(self):
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        relaxed = SatMapItMapper(MapperConfig(enforce_output_register=False)).map(dfg, cgra)
+        strict = SatMapItMapper(
+            MapperConfig(enforce_output_register=True, neighbour_register_file_access=False)
+        ).map(dfg, cgra)
+        assert relaxed.success
+        if strict.success:
+            assert strict.ii >= relaxed.ii
+            assert strict.mapping.violations(check_overwrite=True) == []
+
+    def test_disable_register_allocation(self):
+        outcome = SatMapItMapper(MapperConfig(run_register_allocation=False)).map(
+            paper_running_example(), CGRA.square(2)
+        )
+        assert outcome.success
+        assert outcome.register_allocation is None
+
+    def test_pairwise_amo_gives_same_ii(self):
+        from repro.sat.encodings import AMOEncoding
+
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        sequential = SatMapItMapper().map(dfg, cgra)
+        pairwise = SatMapItMapper(MapperConfig(amo_encoding=AMOEncoding.PAIRWISE)).map(dfg, cgra)
+        assert sequential.ii == pairwise.ii
+
+    def test_symmetry_breaking_does_not_change_ii(self):
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        with_sym = SatMapItMapper(MapperConfig(symmetry_breaking=True)).map(dfg, cgra)
+        without = SatMapItMapper(MapperConfig(symmetry_breaking=False)).map(dfg, cgra)
+        assert with_sym.ii == without.ii
+
+    def test_paper_iteration_span_restriction_never_lowers_ii(self):
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        unrestricted = SatMapItMapper().map(dfg, cgra)
+        restricted = SatMapItMapper(MapperConfig(max_iteration_span=1)).map(dfg, cgra)
+        assert unrestricted.success
+        if restricted.success:
+            assert restricted.ii >= unrestricted.ii

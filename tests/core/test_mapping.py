@@ -1,0 +1,160 @@
+"""Tests for the Mapping data structure and its legality checker."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapping import Mapping, Placement
+from repro.dfg.graph import DFG
+from repro.exceptions import MappingError
+
+
+def chain_dfg(n: int = 3) -> DFG:
+    return DFG.from_edge_list("chain", n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_place_and_lookup(self):
+        mapping = Mapping(chain_dfg(), CGRA.square(2), ii=2)
+        mapping.place(0, pe=1, cycle=0)
+        placement = mapping.placement(0)
+        assert placement == Placement(0, 1, 0, 0)
+        assert placement.flat_time(2) == 0
+
+    def test_place_unknown_node_rejected(self):
+        mapping = Mapping(chain_dfg(), CGRA.square(2), ii=2)
+        with pytest.raises(MappingError):
+            mapping.place(9, pe=0, cycle=0)
+
+    def test_missing_placement_lookup_rejected(self):
+        mapping = Mapping(chain_dfg(), CGRA.square(2), ii=2)
+        with pytest.raises(MappingError):
+            mapping.placement(0)
+
+    def test_flat_time_uses_iteration(self):
+        placement = Placement(0, 0, cycle=1, iteration=2)
+        assert placement.flat_time(3) == 7
+
+
+class TestDerivedViews:
+    def _mapped_chain(self):
+        mapping = Mapping(chain_dfg(3), CGRA.square(2), ii=2)
+        mapping.place(0, pe=0, cycle=0, iteration=0)
+        mapping.place(1, pe=1, cycle=1, iteration=0)
+        mapping.place(2, pe=3, cycle=0, iteration=1)
+        return mapping
+
+    def test_schedule_length(self):
+        assert self._mapped_chain().schedule_length == 3
+
+    def test_num_kernel_iterations(self):
+        assert self._mapped_chain().num_kernel_iterations == 2
+
+    def test_kernel_table(self):
+        table = self._mapped_chain().kernel_table()
+        assert table[0][0] == 0
+        assert table[1][1] == 1
+        assert table[0][3] == 2
+        assert table[0][1] is None
+
+    def test_pe_utilisation(self):
+        assert self._mapped_chain().pe_utilisation() == pytest.approx(3 / 8)
+
+    def test_nodes_on_pe(self):
+        mapping = self._mapped_chain()
+        assert [p.node_id for p in mapping.nodes_on_pe(0)] == [0]
+        assert mapping.nodes_on_pe(2) == []
+
+    def test_repr(self):
+        assert "placed=3/3" in repr(self._mapped_chain())
+
+    def test_empty_mapping_views(self):
+        mapping = Mapping(chain_dfg(), CGRA.square(2), ii=2)
+        assert mapping.schedule_length == 0
+        assert mapping.num_kernel_iterations == 0
+        assert mapping.pe_utilisation() == 0.0
+
+
+class TestLegality:
+    def test_valid_chain_mapping(self):
+        mapping = Mapping(chain_dfg(3), CGRA.square(2), ii=3)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=1, cycle=1)
+        mapping.place(2, pe=3, cycle=2)
+        assert mapping.is_valid()
+        assert mapping.violations() == []
+
+    def test_missing_node_detected(self):
+        mapping = Mapping(chain_dfg(3), CGRA.square(2), ii=3)
+        mapping.place(0, pe=0, cycle=0)
+        problems = mapping.violations()
+        assert any("not placed" in p for p in problems)
+
+    def test_pe_out_of_range_detected(self):
+        mapping = Mapping(chain_dfg(1), CGRA.square(2), ii=1)
+        mapping.place(0, pe=7, cycle=0)
+        assert any("PEs" in p for p in mapping.violations())
+
+    def test_cycle_out_of_range_detected(self):
+        mapping = Mapping(chain_dfg(1), CGRA.square(2), ii=2)
+        mapping.place(0, pe=0, cycle=5)
+        assert any("outside the kernel" in p for p in mapping.violations())
+
+    def test_slot_conflict_detected(self):
+        dfg = DFG.from_edge_list("two", 2, [])
+        mapping = Mapping(dfg, CGRA.square(2), ii=1)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=0)
+        assert any("hosts both" in p for p in mapping.violations())
+
+    def test_non_neighbour_dependency_detected(self):
+        mapping = Mapping(chain_dfg(2), CGRA.square(3), ii=3)
+        mapping.place(0, pe=0, cycle=0)  # corner (0,0)
+        mapping.place(1, pe=8, cycle=1)  # opposite corner (2,2)
+        assert any("not neighbours" in p for p in mapping.violations())
+
+    def test_timing_violation_detected(self):
+        mapping = Mapping(chain_dfg(2), CGRA.square(2), ii=4)
+        mapping.place(0, pe=0, cycle=2)
+        mapping.place(1, pe=1, cycle=1)  # consumes before production
+        assert any("before being produced" in p for p in mapping.violations())
+
+    def test_back_edge_timing_uses_distance(self):
+        dfg = DFG.from_edge_list("loop", 2, [(0, 1), (1, 0, 1)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=2)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=1, cycle=1)
+        # 1 -> 0 with distance 1: consumed at 0 + 2 = 2 >= produced at 2.  OK.
+        assert mapping.is_valid()
+
+    def test_same_pe_dependency_is_legal(self):
+        mapping = Mapping(chain_dfg(2), CGRA.square(2), ii=2)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=1)
+        assert mapping.is_valid()
+
+
+class TestOutputRegisterCheck:
+    def test_clobbered_output_register_detected(self):
+        dfg = DFG.from_edge_list("t", 3, [(0, 2)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=3)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=1)  # unrelated node clobbers PE0's output
+        mapping.place(2, pe=1, cycle=2)  # neighbour consumer two cycles later
+        assert mapping.is_valid(check_overwrite=False)
+        assert not mapping.is_valid(check_overwrite=True)
+        assert any("overwritten" in p for p in mapping.violations(check_overwrite=True))
+
+    def test_producer_reexecution_detected(self):
+        dfg = DFG.from_edge_list("t", 2, [(0, 1)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=2)
+        mapping.place(0, pe=0, cycle=0, iteration=0)
+        mapping.place(1, pe=1, cycle=1, iteration=1)  # span 3 > II
+        assert any("re-executes" in p for p in mapping.violations(check_overwrite=True))
+
+    def test_same_pe_transfer_not_subject_to_overwrite(self):
+        dfg = DFG.from_edge_list("t", 3, [(0, 2)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=3)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=1)
+        mapping.place(2, pe=0, cycle=2)  # same-PE consumer: register file path
+        assert mapping.is_valid(check_overwrite=True)

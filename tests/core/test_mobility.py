@@ -1,0 +1,117 @@
+"""Tests for the Mobility Schedule and Kernel Mobility Schedule.
+
+The running-example checks reproduce the paper's Figures 4 and 5.
+"""
+
+import pytest
+
+from repro.core.mobility import KernelMobilitySchedule, KMSSlot, MobilitySchedule
+from repro.dfg.graph import DFG, paper_running_example
+from repro.exceptions import MappingError
+
+
+class TestMobilitySchedule:
+    def setup_method(self):
+        self.dfg = paper_running_example()
+        self.ms = MobilitySchedule.build(self.dfg)
+
+    def test_length_is_critical_path(self):
+        assert self.ms.length == 5
+
+    def test_rows_match_paper_figure4(self):
+        rows = [set(row) for row in self.ms.rows()]
+        assert rows[0] == {1, 2, 3, 4}
+        assert rows[1] == {1, 2, 4, 5, 7, 10}
+        assert rows[2] == {1, 2, 6, 7, 10, 11}
+        assert rows[3] == {2, 8, 10, 11}
+        assert rows[4] == {9, 11}
+
+    def test_window_and_mobility(self):
+        assert list(self.ms.window(3)) == [0]
+        assert self.ms.mobility(3) == 1
+        assert list(self.ms.window(2)) == [0, 1, 2, 3]
+        assert self.ms.mobility(2) == 4
+
+    def test_slack_extends_windows(self):
+        slacked = MobilitySchedule.build(self.dfg, slack=2)
+        assert slacked.length == 7
+        assert slacked.mobility(9) == 3  # sink node gains the extra slots
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(MappingError):
+            MobilitySchedule.build(self.dfg, slack=-1)
+
+    def test_empty_dfg_has_single_slot(self):
+        ms = MobilitySchedule.build(DFG())
+        assert ms.length == 1
+
+    def test_str_rendering(self):
+        text = str(self.ms)
+        assert "time | nodes" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestKernelMobilitySchedule:
+    def setup_method(self):
+        self.dfg = paper_running_example()
+        self.ms = MobilitySchedule.build(self.dfg)
+        self.kms = KernelMobilitySchedule.build(self.ms, ii=3)
+
+    def test_number_of_iterations(self):
+        # ceil(5 / 3) = 2, matching the paper's Figure 5.
+        assert self.kms.num_iterations == 2
+
+    def test_rows_match_paper_figure5(self):
+        rows = self.kms.rows()
+        # Row 0 folds MS times 0 and 3.
+        assert set(rows[0]) == {
+            (1, 0), (2, 0), (3, 0), (4, 0),
+            (2, 1), (8, 1), (10, 1), (11, 1),
+        }
+        # Row 1 folds MS times 1 and 4.
+        assert set(rows[1]) == {
+            (1, 0), (2, 0), (4, 0), (5, 0), (7, 0), (10, 0),
+            (9, 1), (11, 1),
+        }
+        # Row 2 folds MS time 2 only.
+        assert set(rows[2]) == {(1, 0), (2, 0), (6, 0), (7, 0), (10, 0), (11, 0)}
+
+    def test_node_slots_preserve_flat_time(self):
+        for node_id, slots in self.kms.slots.items():
+            window = list(self.ms.window(node_id))
+            assert sorted(slot.flat_time(self.kms.ii) for slot in slots) == window
+
+    def test_total_slot_count_equals_mobility_sum(self):
+        expected = sum(self.ms.mobility(node) for node in self.dfg.node_ids)
+        assert self.kms.num_slots == expected
+
+    def test_cycle_slots(self):
+        slots = self.kms.cycle_slots(2)
+        assert all(slot.cycle == 2 for slot in slots)
+        assert {slot.node_id for slot in slots} == {1, 2, 6, 7, 10, 11}
+
+    def test_cycle_out_of_range_rejected(self):
+        with pytest.raises(MappingError):
+            self.kms.cycle_slots(3)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(MappingError):
+            self.kms.node_slots(99)
+
+    def test_invalid_ii_rejected(self):
+        with pytest.raises(MappingError):
+            KernelMobilitySchedule.build(self.ms, ii=0)
+
+    def test_ii_larger_than_length_single_iteration(self):
+        kms = KernelMobilitySchedule.build(self.ms, ii=10)
+        assert kms.num_iterations == 1
+        assert all(slot.iteration == 0 for slots in kms.slots.values() for slot in slots)
+
+    def test_str_rendering(self):
+        text = str(self.kms)
+        assert "KMS (II=3" in text
+        assert "cycle" in text
+
+    def test_kms_slot_flat_time(self):
+        slot = KMSSlot(node_id=1, cycle=2, iteration=1)
+        assert slot.flat_time(3) == 5

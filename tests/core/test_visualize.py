@@ -1,0 +1,57 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import SatMapItMapper
+from repro.core.mapping import Mapping
+from repro.core.visualize import render_grid, render_kernel, render_mapping_report
+from repro.dfg.graph import DFG, paper_running_example
+
+
+def small_mapping() -> Mapping:
+    dfg = DFG.from_edge_list("t", 3, [(0, 1), (1, 2)])
+    mapping = Mapping(dfg, CGRA.square(2), ii=3)
+    mapping.place(0, pe=0, cycle=0)
+    mapping.place(1, pe=1, cycle=1)
+    mapping.place(2, pe=1, cycle=2)
+    return mapping
+
+
+class TestRenderKernel:
+    def test_contains_all_nodes(self):
+        text = render_kernel(small_mapping())
+        assert "n0" in text and "n1" in text and "n2" in text
+
+    def test_has_one_row_per_cycle(self):
+        text = render_kernel(small_mapping())
+        # header + separator + 3 cycles
+        assert len(text.splitlines()) == 5
+
+    def test_empty_slots_rendered_as_dots(self):
+        assert "." in render_kernel(small_mapping())
+
+
+class TestRenderGrid:
+    def test_grid_shape(self):
+        text = render_grid(small_mapping(), cycle=0)
+        # 2 rows -> 2 content lines + 3 separators
+        assert len(text.splitlines()) == 5
+        assert "n0" in text
+
+    def test_invalid_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            render_grid(small_mapping(), cycle=9)
+
+
+class TestRenderReport:
+    def test_report_without_allocation(self):
+        text = render_mapping_report(small_mapping())
+        assert "II = 3" in text
+        assert "utilisation" in text
+
+    def test_report_with_allocation_from_real_mapping(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        text = render_mapping_report(outcome.mapping, outcome.register_allocation)
+        assert "register allocation: ok" in text
+        assert "II = 3" in text

@@ -1,0 +1,30 @@
+"""Tests for DOT export."""
+
+from repro.dfg.dot import to_dot, write_dot
+from repro.dfg.graph import DFG, paper_running_example
+
+
+class TestDotExport:
+    def test_contains_all_nodes_and_edges(self):
+        dfg = paper_running_example()
+        dot = to_dot(dfg)
+        assert dot.startswith('digraph "running_example"')
+        for node in dfg.nodes:
+            assert f"n{node.node_id} [" in dot
+        assert dot.count("->") == dfg.num_edges
+
+    def test_back_edges_marked_dashed(self):
+        dfg = DFG.from_edge_list("t", 2, [(0, 1), (1, 0, 1)])
+        dot = to_dot(dfg)
+        assert "style=dashed" in dot
+        assert 'label="d=1"' in dot
+
+    def test_highlighting(self):
+        dfg = DFG.from_edge_list("t", 2, [(0, 1)])
+        dot = to_dot(dfg, highlight={0: "red"})
+        assert 'fillcolor="red"' in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "graph.dot"
+        write_dot(paper_running_example(), str(path))
+        assert path.read_text().startswith("digraph")

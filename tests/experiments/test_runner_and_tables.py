@@ -1,0 +1,148 @@
+"""Tests for the experiment harness (runner, tables, report)."""
+
+import pytest
+
+from repro.experiments.report import render_markdown_report, write_markdown_report
+from repro.experiments.runner import (
+    PATHSEEKER,
+    RAMP,
+    SAT_MAPIT,
+    ExperimentConfig,
+    RunRecord,
+    SweepResult,
+    build_mapper,
+    run_single,
+    run_sweep,
+)
+from repro.experiments.tables import (
+    figure6_rows,
+    headline_winrate,
+    mapping_time_rows,
+    never_worse,
+    render_figure6,
+    render_headline,
+    render_mapping_time_table,
+)
+
+FAST_CONFIG = ExperimentConfig(
+    kernels=("srand", "basicmath"),
+    sizes=(2, 3),
+    timeout=30.0,
+    pathseeker_repeats=1,
+)
+
+
+def synthetic_sweep() -> SweepResult:
+    """Hand-built sweep covering wins, ties and heuristic failures."""
+    config = ExperimentConfig(kernels=("a", "b", "c"), sizes=(2,), timeout=1.0)
+    sweep = SweepResult(config=config)
+    rows = [
+        # kernel a: tie
+        RunRecord("a", 2, SAT_MAPIT, "mapped", 3, 1.0, 3, 1, 10),
+        RunRecord("a", 2, RAMP, "mapped", 3, 0.5, 3, 1, 10),
+        RunRecord("a", 2, PATHSEEKER, "mapped", 4, 0.4, 3, 1, 10),
+        # kernel b: SAT-MapIt strictly better
+        RunRecord("b", 2, SAT_MAPIT, "mapped", 4, 2.0, 4, 2, 20),
+        RunRecord("b", 2, RAMP, "mapped", 6, 1.0, 4, 3, 20),
+        RunRecord("b", 2, PATHSEEKER, "mapped", 5, 1.5, 4, 3, 20),
+        # kernel c: heuristics fail, SAT-MapIt maps
+        RunRecord("c", 2, SAT_MAPIT, "mapped", 10, 5.0, 10, 3, 40),
+        RunRecord("c", 2, RAMP, "failed", None, 3.0, 10, 8, 40),
+        RunRecord("c", 2, PATHSEEKER, "timeout", None, 6.0, 10, 9, 40),
+    ]
+    sweep.records.extend(rows)
+    return sweep
+
+
+class TestRunnerHelpers:
+    def test_build_mapper_names(self):
+        config = ExperimentConfig(timeout=5.0)
+        assert build_mapper(SAT_MAPIT, config).name == "SAT-MapIt"
+        assert build_mapper(RAMP, config).name == "RAMP"
+        assert build_mapper(PATHSEEKER, config).name == "PathSeeker"
+
+    def test_build_mapper_unknown(self):
+        with pytest.raises(ValueError):
+            build_mapper("nope", ExperimentConfig())
+
+    def test_run_single_satmapit(self):
+        record = run_single("srand", 2, SAT_MAPIT, FAST_CONFIG)
+        assert record.succeeded
+        assert record.ii is not None
+        assert record.ii >= record.minimum_ii
+        assert record.kernel == "srand"
+        assert record.num_nodes > 0
+
+    def test_run_single_pathseeker_repeats(self):
+        config = ExperimentConfig(
+            kernels=("srand",), sizes=(2,), timeout=20.0, pathseeker_repeats=2
+        )
+        record = run_single("srand", 2, PATHSEEKER, config)
+        assert record.succeeded
+
+
+class TestSweep:
+    def test_small_sweep_produces_all_records(self):
+        sweep = run_sweep(FAST_CONFIG)
+        assert len(sweep.records) == 2 * 2 * 3
+        for record in sweep.records:
+            assert record.status in ("mapped", "timeout", "failed")
+
+    def test_best_soa_and_lookup(self):
+        sweep = synthetic_sweep()
+        assert sweep.record("a", 2, SAT_MAPIT).ii == 3
+        assert sweep.best_soa("a", 2).ii == 3
+        assert sweep.best_soa("c", 2).ii is None
+        assert sweep.pairs() == [("a", 2), ("b", 2), ("c", 2)]
+
+
+class TestTables:
+    def test_figure6_rows(self):
+        rows = figure6_rows(synthetic_sweep(), 2)
+        assert len(rows) == 3
+        by_kernel = {row.kernel: row for row in rows}
+        assert by_kernel["a"].tie
+        assert not by_kernel["a"].satmapit_wins
+        assert by_kernel["b"].satmapit_wins
+        assert by_kernel["c"].satmapit_wins  # mapped where heuristics failed
+
+    def test_headline_winrate(self):
+        wins, total, fraction = headline_winrate(synthetic_sweep())
+        assert (wins, total) == (2, 3)
+        assert fraction == pytest.approx(2 / 3)
+
+    def test_never_worse(self):
+        assert never_worse(synthetic_sweep())
+
+    def test_mapping_time_rows(self):
+        rows = mapping_time_rows(synthetic_sweep(), 2)
+        assert len(rows) == 3
+        assert rows[0].delta == pytest.approx(rows[0].satmapit_time - rows[0].soa_time)
+
+    def test_render_figure6_marks_failures(self):
+        text = render_figure6(synthetic_sweep(), 2)
+        assert "x(" in text
+        assert "SAT-MapIt" in text
+
+    def test_render_time_table(self):
+        text = render_mapping_time_table(synthetic_sweep(), 2, number="I")
+        assert "Table I" in text
+        assert "benchmark" in text
+
+    def test_render_headline(self):
+        text = render_headline(synthetic_sweep())
+        assert "47.72%" in text
+
+
+class TestReport:
+    def test_markdown_report_contains_sections(self):
+        text = render_markdown_report(synthetic_sweep())
+        assert "# EXPERIMENTS" in text
+        assert "Figure 6" in text
+        assert "Headline" in text
+        assert "| benchmark |" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report(synthetic_sweep(), str(path))
+        assert path.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,88 @@
+"""Tests for the loop-kernel lexer."""
+
+import pytest
+
+from repro.exceptions import FrontendError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [token.text for token in tokenize(source) if token.kind is not TokenKind.END]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_end(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.END
+
+    def test_identifier_and_number(self):
+        assert texts("acc 42") == ["acc", "42"]
+        assert kinds("acc 42")[:2] == [TokenKind.IDENT, TokenKind.NUMBER]
+
+    def test_identifier_with_underscores_and_digits(self):
+        assert texts("foo_bar2") == ["foo_bar2"]
+
+    def test_assignment_vs_equality(self):
+        tokens = tokenize("a = b == c")
+        assert [t.kind for t in tokens[:5]] == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT,
+            TokenKind.OPERATOR, TokenKind.IDENT,
+        ]
+        assert tokens[3].text == "=="
+
+    def test_multi_character_operators(self):
+        assert texts("a << 2 >> 3 <= 4 >= 5 != 6") == [
+            "a", "<<", "2", ">>", "3", "<=", "4", ">=", "5", "!=", "6"
+        ]
+
+    def test_brackets_and_parens(self):
+        assert kinds("a[i] (b)")[:7] == [
+            TokenKind.IDENT, TokenKind.LBRACKET, TokenKind.IDENT,
+            TokenKind.RBRACKET, TokenKind.LPAREN, TokenKind.IDENT,
+            TokenKind.RPAREN,
+        ]
+
+    def test_ternary_tokens(self):
+        assert kinds("a ? b : c")[:5] == [
+            TokenKind.IDENT, TokenKind.QUESTION, TokenKind.IDENT,
+            TokenKind.COLON, TokenKind.IDENT,
+        ]
+
+
+class TestSeparatorsAndComments:
+    def test_newlines_and_semicolons_are_separators(self):
+        assert kinds("a = 1\nb = 2; c = 3").count(TokenKind.NEWLINE) == 2
+
+    def test_comments_ignored(self):
+        assert texts("a = 1 # set a\n# full line comment\nb = 2") == [
+            "a", "=", "1", "\n", "\n", "b", "=", "2"
+        ]
+
+    def test_whitespace_ignored(self):
+        assert texts("  a\t=  1 ") == ["a", "=", "1"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_token = next(t for t in tokens if t.text == "b")
+        assert b_token.line == 2
+
+    def test_token_repr(self):
+        token = Token(TokenKind.IDENT, "x", 1, 1)
+        assert "ident" in repr(token)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("a = @")
+
+    def test_stray_exclamation(self):
+        with pytest.raises(FrontendError):
+            tokenize("a = !b")

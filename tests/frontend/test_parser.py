@@ -1,0 +1,112 @@
+"""Tests for the loop-kernel parser."""
+
+import pytest
+
+from repro.exceptions import FrontendError
+from repro.frontend.ast_nodes import (
+    ArrayAssign,
+    ArrayRef,
+    BinaryOp,
+    Number,
+    ScalarAssign,
+    Select,
+    Variable,
+)
+from repro.frontend.parser import parse_program
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        program = parse_program("x = 1")
+        assert program.statements == (ScalarAssign("x", Number(1)),)
+
+    def test_array_assignment(self):
+        program = parse_program("out[i] = 3")
+        statement = program.statements[0]
+        assert isinstance(statement, ArrayAssign)
+        assert statement.array == "out"
+        assert statement.index == Variable("i")
+        assert statement.value == Number(3)
+
+    def test_multiple_statements(self):
+        program = parse_program("a = 1\nb = a + 2; c = b")
+        assert len(program.statements) == 3
+        assert program.assigned_scalars == {"a", "b", "c"}
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("\n\n# only comments\n")
+
+    def test_missing_assignment_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("a + 1")
+
+    def test_unclosed_bracket_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("out[i = 3")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        statement = parse_program("x = a + b * c").statements[0]
+        assert statement.value == BinaryOp(
+            "+", Variable("a"), BinaryOp("*", Variable("b"), Variable("c"))
+        )
+
+    def test_precedence_shift_below_add(self):
+        statement = parse_program("x = a << b + c").statements[0]
+        assert statement.value == BinaryOp(
+            "<<", Variable("a"), BinaryOp("+", Variable("b"), Variable("c"))
+        )
+
+    def test_left_associativity(self):
+        statement = parse_program("x = a - b - c").statements[0]
+        assert statement.value == BinaryOp(
+            "-", BinaryOp("-", Variable("a"), Variable("b")), Variable("c")
+        )
+
+    def test_parentheses_override_precedence(self):
+        statement = parse_program("x = (a + b) * c").statements[0]
+        assert statement.value == BinaryOp(
+            "*", BinaryOp("+", Variable("a"), Variable("b")), Variable("c")
+        )
+
+    def test_unary_minus_becomes_zero_minus(self):
+        statement = parse_program("x = -a").statements[0]
+        assert statement.value == BinaryOp("-", Number(0), Variable("a"))
+
+    def test_array_reference_with_expression_index(self):
+        statement = parse_program("x = a[i + 1]").statements[0]
+        assert statement.value == ArrayRef(
+            "a", BinaryOp("+", Variable("i"), Number(1))
+        )
+
+    def test_ternary(self):
+        statement = parse_program("x = a > b ? a : b").statements[0]
+        value = statement.value
+        assert isinstance(value, Select)
+        assert value.condition == BinaryOp(">", Variable("a"), Variable("b"))
+        assert value.if_true == Variable("a")
+        assert value.if_false == Variable("b")
+
+    def test_nested_ternary(self):
+        statement = parse_program("x = a ? b : c ? d : e").statements[0]
+        value = statement.value
+        assert isinstance(value, Select)
+        assert isinstance(value.if_false, Select)
+
+    def test_comparison_chain(self):
+        statement = parse_program("x = a < b == c").statements[0]
+        assert isinstance(statement.value, BinaryOp)
+
+    def test_bitwise_operators(self):
+        statement = parse_program("x = a & b | c ^ d").statements[0]
+        assert statement.value.operator == "|"
+
+    def test_unexpected_token_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("x = ?")
+
+    def test_missing_colon_in_ternary_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_program("x = a ? b  c")

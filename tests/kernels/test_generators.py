@@ -1,0 +1,59 @@
+"""Tests for the synthetic DFG generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.analysis import asap_schedule, critical_path_length
+from repro.kernels.generators import random_dfg, random_layered_dfg
+
+
+class TestRandomDFG:
+    def test_deterministic_for_same_seed(self):
+        a = random_dfg(12, seed=3)
+        b = random_dfg(12, seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert [(e.src, e.dst, e.distance) for e in a.edges] == [
+            (e.src, e.dst, e.distance) for e in b.edges
+        ]
+
+    def test_every_non_root_node_has_a_predecessor(self):
+        dfg = random_dfg(15, seed=1)
+        for node_id in dfg.node_ids[1:]:
+            assert dfg.predecessors(node_id)
+
+    def test_named(self):
+        assert random_dfg(5, seed=2, name="custom").name == "custom"
+
+    @settings(max_examples=30, deadline=None)
+    @given(num_nodes=st.integers(2, 30), seed=st.integers(0, 1000))
+    def test_always_valid(self, num_nodes, seed):
+        dfg = random_dfg(num_nodes, seed=seed)
+        dfg.validate()  # raises on failure
+        assert dfg.num_nodes == num_nodes
+
+
+class TestLayeredDFG:
+    def test_shape(self):
+        dfg = random_layered_dfg(num_layers=4, width=3, seed=0)
+        assert dfg.num_nodes == 12
+        assert critical_path_length(dfg) == 4
+
+    def test_fan_in_respected(self):
+        dfg = random_layered_dfg(num_layers=3, width=4, fan_in=2, seed=1)
+        asap = asap_schedule(dfg)
+        for node_id in dfg.node_ids:
+            if asap[node_id] > 0:
+                assert 1 <= len(dfg.predecessors(node_id)) <= 2
+
+    def test_recurrence_optional(self):
+        with_rec = random_layered_dfg(3, 2, seed=0, with_recurrence=True)
+        without = random_layered_dfg(3, 2, seed=0, with_recurrence=False)
+        assert with_rec.back_edges()
+        assert not without.back_edges()
+
+    @settings(max_examples=20, deadline=None)
+    @given(layers=st.integers(1, 6), width=st.integers(1, 5), seed=st.integers(0, 100))
+    def test_always_valid(self, layers, width, seed):
+        dfg = random_layered_dfg(layers, width, seed=seed)
+        dfg.validate()
+        assert dfg.num_nodes == layers * width

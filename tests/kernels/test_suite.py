@@ -1,0 +1,68 @@
+"""Tests for the benchmark kernel suite."""
+
+import pytest
+
+from repro.dfg.analysis import minimum_initiation_interval
+from repro.kernels import all_kernel_names, all_kernels, get_kernel, get_kernel_spec
+
+PAPER_BENCHMARKS = [
+    "sha", "gsm", "patricia", "bitcount", "backprop", "nw", "srand",
+    "hotspot", "sha2", "basicmath", "stringsearch",
+]
+
+
+class TestSuiteContents:
+    def test_all_eleven_paper_benchmarks_present(self):
+        assert all_kernel_names() == PAPER_BENCHMARKS
+
+    def test_specs_have_provenance(self):
+        for name in all_kernel_names():
+            spec = get_kernel_spec(name)
+            assert spec.suite in ("mibench", "rodinia")
+            assert spec.description
+            assert spec.source.strip()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            get_kernel_spec("does_not_exist")
+
+    def test_all_kernels_returns_dfgs(self):
+        kernels = all_kernels()
+        assert set(kernels) == set(PAPER_BENCHMARKS)
+
+    def test_kernels_are_cached(self):
+        assert get_kernel("sha") is get_kernel("sha")
+
+
+class TestKernelStructure:
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_kernel_is_valid_dfg(self, name):
+        dfg = get_kernel(name)
+        dfg.validate()
+        assert dfg.num_nodes >= 10
+        assert dfg.num_edges >= dfg.num_nodes - 1
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_kernel_has_loop_carried_dependency(self, name):
+        """Every benchmark is a loop body: it has at least one back edge
+        (induction variable or accumulator)."""
+        assert get_kernel(name).back_edges()
+
+    def test_difficulty_ordering_matches_paper(self):
+        """patricia and backprop are the large kernels that defeat the
+        heuristics on 2x2; nw/srand/basicmath/stringsearch are the small
+        ones."""
+        sizes = {name: get_kernel(name).num_nodes for name in PAPER_BENCHMARKS}
+        for big in ("patricia", "backprop"):
+            for small in ("nw", "srand", "basicmath", "stringsearch"):
+                assert sizes[big] > sizes[small]
+
+    def test_mii_spread_across_2x2(self):
+        """On the 2x2 fabric the minimum IIs span a wide range (the paper's
+        Figure 6 bars range from about 2 to 14)."""
+        miis = [
+            minimum_initiation_interval(get_kernel(name), 4)
+            for name in PAPER_BENCHMARKS
+        ]
+        assert min(miis) <= 4
+        assert max(miis) >= 10

@@ -1,0 +1,104 @@
+"""Tests for the reference DPLL solver."""
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+
+
+class TestBasicDecisions:
+    def test_empty_formula_is_sat(self):
+        assert DPLLSolver().solve(CNF()) == {}
+
+    def test_single_unit_clause(self):
+        model = DPLLSolver().solve(CNF(clauses=[[3]]))
+        assert model is not None
+        assert model[3] is True
+
+    def test_negative_unit_clause(self):
+        model = DPLLSolver().solve(CNF(clauses=[[-2]]))
+        assert model is not None
+        assert model[2] is False
+
+    def test_contradictory_units_unsat(self):
+        assert DPLLSolver().solve(CNF(clauses=[[1], [-1]])) is None
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF(clauses=[[1]])
+        cnf.add_clause([])
+        assert DPLLSolver().solve(cnf) is None
+
+    def test_model_covers_all_variables(self):
+        cnf = CNF(num_vars=5, clauses=[[1, 2]])
+        model = DPLLSolver().solve(cnf)
+        assert model is not None
+        assert set(model) == {1, 2, 3, 4, 5}
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF(clauses=[[1, 2], [-1, 3], [-2, -3], [2, 3]])
+        model = DPLLSolver().solve(cnf)
+        assert model is not None
+        assert cnf.evaluate(model)
+
+    def test_classic_unsat_instance(self):
+        # All eight clauses over three variables: unsatisfiable.
+        clauses = [
+            [1, 2, 3], [1, 2, -3], [1, -2, 3], [1, -2, -3],
+            [-1, 2, 3], [-1, 2, -3], [-1, -2, 3], [-1, -2, -3],
+        ]
+        assert DPLLSolver().solve(CNF(clauses=clauses)) is None
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF(clauses=[[1, 2]])
+        model = DPLLSolver().solve(cnf, assumptions=[-1])
+        assert model is not None
+        assert model[1] is False
+        assert model[2] is True
+
+    def test_conflicting_assumptions_unsat(self):
+        cnf = CNF(num_vars=1)
+        assert DPLLSolver().solve(cnf, assumptions=[1, -1]) is None
+
+    def test_assumption_conflicting_with_formula(self):
+        cnf = CNF(clauses=[[1]])
+        assert DPLLSolver().solve(cnf, assumptions=[-1]) is None
+
+
+class TestBudget:
+    def test_decision_budget_enforced(self):
+        # Pigeonhole 4 pigeons / 3 holes is small but needs several decisions.
+        cnf = _pigeonhole(4, 3)
+        solver = DPLLSolver(max_decisions=1)
+        with pytest.raises(RuntimeError):
+            solver.solve(cnf)
+
+    def test_decision_counter_tracks_work(self):
+        solver = DPLLSolver()
+        solver.solve(_pigeonhole(3, 2))
+        assert solver.decisions >= 1
+
+
+def _pigeonhole(pigeons: int, holes: int) -> CNF:
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[(p, h)] = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+class TestPigeonhole:
+    def test_unsat_when_more_pigeons(self):
+        assert DPLLSolver().solve(_pigeonhole(4, 3)) is None
+
+    def test_sat_when_enough_holes(self):
+        model = DPLLSolver().solve(_pigeonhole(3, 3))
+        assert model is not None

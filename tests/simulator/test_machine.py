@@ -1,0 +1,128 @@
+"""Tests for the cycle-accurate mapping simulator."""
+
+import pytest
+
+from repro.baselines import PathSeekerMapper, RampMapper
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.core.mapping import Mapping
+from repro.dfg.graph import DFG, paper_running_example
+from repro.exceptions import SimulationError
+from repro.frontend import compile_loop
+from repro.kernels import get_kernel
+from repro.simulator.machine import CGRASimulator
+
+
+def simulate_outcome(outcome, iterations=4):
+    simulator = CGRASimulator(outcome.mapping, outcome.register_allocation)
+    return simulator.run(iterations)
+
+
+class TestLegalMappingsSimulateCleanly:
+    def test_running_example_sat_mapping(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        result = simulate_outcome(outcome)
+        assert result.success, result.errors
+        assert result.checked_transfers > 0
+        assert result.iterations == 4
+
+    @pytest.mark.parametrize("kernel", ["srand", "stringsearch", "basicmath"])
+    def test_benchmark_kernels_on_3x3(self, kernel):
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(
+            get_kernel(kernel), CGRA.square(3)
+        )
+        assert outcome.success
+        result = simulate_outcome(outcome)
+        assert result.success, result.errors
+
+    def test_compiled_loop_simulation_matches_reference_values(self):
+        dfg = compile_loop("acc = acc + a[i]", name="sum")
+        outcome = SatMapItMapper().map(dfg, CGRA.square(2))
+        result = simulate_outcome(outcome, iterations=5)
+        assert result.success, result.errors
+        # Spot-check: the recorded values are the golden model's values.
+        from repro.simulator.reference import interpret_dfg
+
+        history = interpret_dfg(dfg, 5)
+        for (node, iteration), value in result.values.items():
+            assert history[iteration][node] == value
+
+    @pytest.mark.parametrize("mapper_cls", [RampMapper, PathSeekerMapper])
+    def test_heuristic_mappings_also_simulate(self, mapper_cls):
+        outcome = mapper_cls().map(paper_running_example(), CGRA.square(2))
+        assert outcome.success
+        result = simulate_outcome(outcome)
+        assert result.success, result.errors
+
+
+class TestIllegalMappingsAreCaught:
+    def _legal_outcome(self):
+        return SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+
+    def test_non_neighbour_transfer_detected(self):
+        dfg = DFG.from_edge_list("pair", 2, [(0, 1)])
+        mapping = Mapping(dfg, CGRA.square(3), ii=2)
+        mapping.place(0, pe=0, cycle=0)          # corner
+        mapping.place(1, pe=8, cycle=1)          # opposite corner
+        result = CGRASimulator(mapping).run(2)
+        assert not result.success
+        assert any("cannot reach" in error for error in result.errors)
+
+    def test_stale_output_register_detected_in_strict_model(self):
+        # Producer's output register is clobbered before the neighbour reads.
+        # Only the strict transfer model (no neighbour register-file access)
+        # is sensitive to this.
+        dfg = DFG.from_edge_list("triple", 3, [(0, 2)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=3)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=1)   # clobbers PE0 output register
+        mapping.place(2, pe=1, cycle=2)   # neighbour reads too late
+        relaxed = CGRASimulator(mapping).run(3)
+        assert relaxed.success
+        strict = CGRASimulator(mapping, neighbour_register_file_access=False).run(3)
+        assert not strict.success
+        assert any("finds value of node" in error for error in strict.errors)
+
+    def test_value_not_yet_produced_detected(self):
+        dfg = DFG.from_edge_list("pair", 2, [(0, 1)])
+        mapping = Mapping(dfg, CGRA.square(2), ii=2)
+        # Consumer scheduled before producer in flat time: mapping.violations
+        # would flag it; the simulator reports the missing value as well.
+        mapping.place(0, pe=0, cycle=1)
+        mapping.place(1, pe=1, cycle=0)
+        result = CGRASimulator(mapping).run(2)
+        assert not result.success
+
+    def test_double_booked_pe_detected(self):
+        dfg = DFG.from_edge_list("two", 2, [])
+        mapping = Mapping(dfg, CGRA.square(2), ii=1)
+        mapping.place(0, pe=0, cycle=0)
+        mapping.place(1, pe=0, cycle=0)
+        result = CGRASimulator(mapping).run(1)
+        assert not result.success
+        assert any("simultaneously" in error for error in result.errors)
+
+
+class TestSimulatorInterface:
+    def test_empty_mapping_rejected(self):
+        mapping = Mapping(DFG.from_edge_list("one", 1, []), CGRA.square(2), ii=1)
+        with pytest.raises(SimulationError):
+            CGRASimulator(mapping)
+
+    def test_zero_iterations_rejected(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        simulator = CGRASimulator(outcome.mapping)
+        with pytest.raises(SimulationError):
+            simulator.run(0)
+
+    def test_result_repr(self):
+        outcome = SatMapItMapper().map(paper_running_example(), CGRA.square(2))
+        result = CGRASimulator(outcome.mapping, outcome.register_allocation).run(2)
+        assert "SimulationResult" in repr(result)
+
+    def test_simulation_without_register_allocation(self):
+        outcome = SatMapItMapper(MapperConfig(run_register_allocation=False)).map(
+            paper_running_example(), CGRA.square(2)
+        )
+        result = CGRASimulator(outcome.mapping).run(3)
+        assert result.success, result.errors

@@ -1,0 +1,150 @@
+"""Tests for the golden-model DFG interpreter."""
+
+import pytest
+
+from repro.dfg.graph import DFG, Opcode
+from repro.exceptions import SimulationError
+from repro.frontend import compile_loop
+from repro.simulator.reference import ReferenceInterpreter, default_memory, interpret_dfg
+
+MASK32 = 0xFFFFFFFF
+
+
+def binary_dfg(opcode: Opcode, a: int, b: int) -> DFG:
+    dfg = DFG(name=f"test_{opcode.value}")
+    dfg.add_node(0, Opcode.CONST, constant=a)
+    dfg.add_node(1, Opcode.CONST, constant=b)
+    dfg.add_node(2, opcode)
+    dfg.add_edge(0, 2, operand_index=0)
+    dfg.add_edge(1, 2, operand_index=1)
+    return dfg
+
+
+class TestOpcodeSemantics:
+    @pytest.mark.parametrize("opcode,a,b,expected", [
+        (Opcode.ADD, 3, 4, 7),
+        (Opcode.SUB, 3, 4, (3 - 4) & MASK32),
+        (Opcode.MUL, 6, 7, 42),
+        (Opcode.DIV, 42, 5, 8),
+        (Opcode.DIV, 42, 0, 0),
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.SHL, 1, 4, 16),
+        (Opcode.SHR, 256, 4, 16),
+        (Opcode.SHL, 1, 33, 2),  # shift amounts masked to 5 bits
+        (Opcode.LT, 3, 4, 1),
+        (Opcode.LT, 4, 3, 0),
+        (Opcode.GT, 4, 3, 1),
+        (Opcode.EQ, 5, 5, 1),
+        (Opcode.EQ, 5, 6, 0),
+    ])
+    def test_binary_operations(self, opcode, a, b, expected):
+        history = interpret_dfg(binary_dfg(opcode, a, b), 1)
+        assert history[0][2] == expected
+
+    def test_arithmetic_wraps_to_32_bits(self):
+        history = interpret_dfg(binary_dfg(Opcode.MUL, MASK32, 2), 1)
+        assert history[0][2] == (MASK32 * 2) & MASK32
+
+    def test_signed_comparison(self):
+        # -1 (0xffffffff) < 1 in signed arithmetic.
+        history = interpret_dfg(binary_dfg(Opcode.LT, MASK32, 1), 1)
+        assert history[0][2] == 1
+
+    def test_select(self):
+        dfg = DFG(name="select")
+        dfg.add_node(0, Opcode.CONST, constant=1)
+        dfg.add_node(1, Opcode.CONST, constant=10)
+        dfg.add_node(2, Opcode.CONST, constant=20)
+        dfg.add_node(3, Opcode.SELECT)
+        dfg.add_edge(0, 3, operand_index=0)
+        dfg.add_edge(1, 3, operand_index=1)
+        dfg.add_edge(2, 3, operand_index=2)
+        assert interpret_dfg(dfg, 1)[0][3] == 10
+
+    def test_named_constant_is_stable(self):
+        dfg = DFG(name="inv")
+        dfg.add_node(0, Opcode.CONST, name="gain")
+        first = interpret_dfg(dfg, 2)
+        assert first[0][0] == first[1][0]
+
+
+class TestMemory:
+    def test_load_uses_default_memory(self):
+        dfg = DFG(name="load")
+        dfg.add_node(0, Opcode.CONST, constant=100)
+        dfg.add_node(1, Opcode.LOAD)
+        dfg.add_edge(0, 1)
+        assert interpret_dfg(dfg, 1)[0][1] == default_memory(100)
+
+    def test_load_uses_provided_memory(self):
+        dfg = DFG(name="load")
+        dfg.add_node(0, Opcode.CONST, constant=5)
+        dfg.add_node(1, Opcode.LOAD)
+        dfg.add_edge(0, 1)
+        assert interpret_dfg(dfg, 1, memory={5: 99})[0][1] == 99
+
+    def test_store_then_load(self):
+        dfg = DFG(name="store_load")
+        dfg.add_node(0, Opcode.CONST, constant=8)   # address
+        dfg.add_node(1, Opcode.CONST, constant=42)  # value
+        dfg.add_node(2, Opcode.STORE)
+        dfg.add_node(3, Opcode.LOAD)
+        dfg.add_edge(0, 2, operand_index=0)
+        dfg.add_edge(1, 2, operand_index=1)
+        dfg.add_edge(0, 3, operand_index=0)
+        dfg.add_edge(2, 3, operand_index=1)  # memory ordering edge
+        history = interpret_dfg(dfg, 1)
+        assert history[0][3] == 42
+
+
+class TestLoopCarried:
+    def test_accumulator_sums_across_iterations(self):
+        dfg = compile_loop("acc = acc + 2", include_induction_variable=False)
+        interpreter = ReferenceInterpreter(dfg)
+        history = interpreter.run(4)
+        adds = [n for n in dfg.nodes if n.opcode == Opcode.ADD]
+        accumulator = adds[0].node_id
+        values = [history[k][accumulator] for k in range(4)]
+        assert values == [2, 4, 6, 8]
+
+    def test_induction_variable_counts_iterations(self):
+        dfg = compile_loop("out[i] = i")
+        interpreter = ReferenceInterpreter(dfg)
+        history = interpreter.run(3)
+        phi = next(n for n in dfg.nodes if n.opcode == Opcode.PHI and n.name == "i")
+        assert [history[k][phi.node_id] for k in range(3)] == [0, 1, 2]
+
+    def test_initial_values_respected(self):
+        dfg = compile_loop("acc = acc + 1", include_induction_variable=False)
+        phi = next(n for n in dfg.nodes if n.opcode == Opcode.PHI)
+        interpreter = ReferenceInterpreter(dfg, initial_values={phi.node_id: 100})
+        history = interpreter.run(2)
+        adds = [n for n in dfg.nodes if n.opcode == Opcode.ADD]
+        assert history[0][adds[0].node_id] == 101
+
+    def test_value_helper_for_negative_iteration(self):
+        dfg = compile_loop("acc = acc + 1", include_induction_variable=False)
+        phi = next(n for n in dfg.nodes if n.opcode == Opcode.PHI)
+        interpreter = ReferenceInterpreter(dfg, initial_values={phi.node_id: 7})
+        history = interpreter.run(1)
+        assert interpreter.value(history, phi.node_id, -1) == 7
+        assert interpreter.value(history, phi.node_id, 0) == history[0][phi.node_id]
+
+
+class TestErrors:
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(SimulationError):
+            interpret_dfg(DFG(), -1)
+
+    def test_zero_iterations(self):
+        assert interpret_dfg(compile_loop("x = 1 + 2"), 0) == []
+
+    def test_all_benchmark_kernels_interpretable(self):
+        from repro.kernels import all_kernels
+
+        for name, dfg in all_kernels().items():
+            history = interpret_dfg(dfg, 3)
+            assert len(history) == 3
+            assert all(len(values) == dfg.num_nodes for values in history)

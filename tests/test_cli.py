@@ -1,0 +1,67 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "--kernel", "srand"])
+        assert args.rows == 4 and args.cols == 4
+        assert args.kernel == "srand"
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--kernels", "srand", "nw", "--sizes", "2", "3", "--timeout", "10"]
+        )
+        assert args.kernels == ["srand", "nw"]
+        assert args.sizes == [2, 3]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--kernel", "unknown"])
+
+
+class TestCommands:
+    def test_map_command_prints_kernel_report(self, capsys):
+        exit_code = main(["map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+                          "--timeout", "30"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "II=" in captured.out
+        assert "cycle" in captured.out
+
+    def test_map_command_with_source_file(self, tmp_path, capsys):
+        source = tmp_path / "loop.kernel"
+        source.write_text("acc = acc + a[i]\n")
+        exit_code = main(["map", "--source", str(source), "--rows", "2", "--cols", "2",
+                          "--timeout", "30"])
+        assert exit_code == 0
+        assert "II=" in capsys.readouterr().out
+
+    def test_map_requires_kernel_or_source(self):
+        with pytest.raises(SystemExit):
+            main(["map", "--rows", "2", "--cols", "2"])
+
+    def test_show_command(self, capsys):
+        exit_code = main(["show", "--kernel", "nw", "--sizes", "2", "--ii", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "MII on 2x2" in captured.out
+        assert "KMS (II=3" in captured.out
+
+    def test_sweep_command_tiny(self, capsys, tmp_path):
+        report = tmp_path / "report.md"
+        exit_code = main([
+            "sweep", "--kernels", "srand", "--sizes", "2", "--timeout", "20",
+            "--pathseeker-repeats", "1", "--write-report", str(report),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 6" in captured.out
+        assert report.exists()

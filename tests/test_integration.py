@@ -1,0 +1,86 @@
+"""End-to-end integration tests.
+
+These exercise the full pipeline the paper describes (Figure 3): loop source
+-> DFG -> KMS -> CNF -> SAT solving -> register allocation -> mapping, then
+validate the result both statically (legality rules) and dynamically (the
+cycle-accurate simulator against the golden-model interpreter), and compare
+the exact mapper with the heuristic baselines.
+"""
+
+import pytest
+
+from repro import CGRA, MapperConfig, SatMapItMapper, compile_loop
+from repro.baselines import ExhaustiveMapper, PathSeekerMapper, RampMapper
+from repro.dfg.graph import paper_running_example
+from repro.kernels import get_kernel, random_layered_dfg
+from repro.simulator import CGRASimulator, interpret_dfg
+
+
+class TestPaperPipeline:
+    def test_running_example_full_pipeline(self):
+        """Source-to-simulation on the paper's own running example shape."""
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        outcome = SatMapItMapper().map(dfg, cgra)
+        assert outcome.success and outcome.ii == 3
+        simulation = CGRASimulator(outcome.mapping, outcome.register_allocation).run(5)
+        assert simulation.success, simulation.errors
+
+    def test_custom_loop_source_to_simulation(self):
+        source = """
+        t = a[i] + b[i]
+        acc = acc + t * gain
+        out[i] = acc >> 2
+        """
+        dfg = compile_loop(source, name="weighted_sum")
+        cgra = CGRA.square(3)
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(dfg, cgra)
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+        simulation = CGRASimulator(outcome.mapping, outcome.register_allocation).run(4)
+        assert simulation.success, simulation.errors
+        # The simulator's recorded values are exactly the golden model's.
+        history = interpret_dfg(dfg, 4)
+        for (node, iteration), value in simulation.values.items():
+            assert history[iteration][node] == value
+
+    def test_sat_vs_heuristics_on_benchmark_kernel(self):
+        """Paper headline shape: SAT-MapIt's II is never worse."""
+        dfg = get_kernel("stringsearch")
+        cgra = CGRA.square(2)
+        sat = SatMapItMapper(MapperConfig(timeout=60)).map(dfg, cgra)
+        ramp = RampMapper().map(dfg, cgra)
+        pathseeker = PathSeekerMapper().map(dfg, cgra)
+        assert sat.success
+        for heuristic in (ramp, pathseeker):
+            if heuristic.success:
+                assert sat.ii <= heuristic.ii
+
+    def test_sat_matches_exhaustive_on_small_synthetic_loop(self):
+        dfg = random_layered_dfg(num_layers=3, width=2, seed=5)
+        cgra = CGRA.square(2)
+        sat = SatMapItMapper().map(dfg, cgra)
+        oracle = ExhaustiveMapper(max_ii=6, timeout=60).map(dfg, cgra)
+        assert sat.success and oracle.success
+        assert sat.ii == oracle.ii
+
+    def test_mesh_size_sweep_is_monotone(self):
+        """Bigger fabrics never need a larger II (paper Figure 6 trend)."""
+        dfg = get_kernel("basicmath")
+        previous = None
+        for size in (2, 3, 4):
+            outcome = SatMapItMapper(MapperConfig(timeout=60)).map(dfg, CGRA.square(size))
+            assert outcome.success
+            if previous is not None:
+                assert outcome.ii <= previous
+            previous = outcome.ii
+
+    @pytest.mark.parametrize("registers", [2, 8])
+    def test_register_file_size_affects_feasible_ii(self, registers):
+        dfg = get_kernel("srand")
+        cgra = CGRA.square(2, registers_per_pe=registers)
+        outcome = SatMapItMapper(MapperConfig(timeout=60)).map(dfg, cgra)
+        assert outcome.success
+        allocation = outcome.register_allocation
+        assert allocation is not None and allocation.success
+        assert allocation.max_pressure <= registers
