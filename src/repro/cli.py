@@ -30,6 +30,8 @@ from repro.experiments.tables import (
 )
 from repro.frontend import compile_loop
 from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
+from repro.sat.backend import available_backends
+from repro.sat.encodings import AMOEncoding
 
 
 def _load_dfg(args: argparse.Namespace):
@@ -44,7 +46,15 @@ def _load_dfg(args: argparse.Namespace):
 def _cmd_map(args: argparse.Namespace) -> int:
     dfg = _load_dfg(args)
     cgra = CGRA(rows=args.rows, cols=args.cols, registers_per_pe=args.registers)
-    mapper = SatMapItMapper(MapperConfig(timeout=args.timeout, verbose=args.verbose))
+    mapper = SatMapItMapper(
+        MapperConfig(
+            timeout=args.timeout,
+            verbose=args.verbose,
+            backend=args.backend,
+            amo_encoding=AMOEncoding(args.amo_encoding),
+            random_seed=args.seed,
+        )
+    )
     outcome = mapper.map(dfg, cgra)
     print(outcome.summary())
     if outcome.mapping is not None:
@@ -60,10 +70,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes),
         timeout=args.timeout,
         pathseeker_repeats=args.pathseeker_repeats,
+        backend=args.backend,
+        amo_encoding=AMOEncoding(args.amo_encoding),
+        seed=args.seed,
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
-          f"{len(config.sizes)} sizes x {len(config.mappers)} mappers")
-    sweep = run_sweep(config, progress=True)
+          f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
+          + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else ""))
+    sweep = run_sweep(config, progress=True, jobs=args.jobs)
     print()
     print(render_headline(sweep))
     for size in config.sizes:
@@ -112,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--cols", type=int, default=4)
     map_cmd.add_argument("--registers", type=int, default=4)
     map_cmd.add_argument("--timeout", type=float, default=120.0)
+    map_cmd.add_argument("--backend", choices=available_backends(), default="cdcl",
+                         help="solver backend (default: cdcl)")
+    map_cmd.add_argument("--seed", type=int, default=None,
+                         help="random seed forwarded to the solver")
+    map_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
+                         default=AMOEncoding.SEQUENTIAL.value,
+                         help="at-most-one encoding (default: sequential)")
     map_cmd.add_argument("--verbose", action="store_true")
     map_cmd.set_defaults(func=_cmd_map)
 
@@ -122,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--timeout", type=float, default=60.0,
                            help="per-run timeout in seconds (paper: 4000)")
     sweep_cmd.add_argument("--pathseeker-repeats", type=int, default=3)
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="run the sweep on N parallel processes")
+    sweep_cmd.add_argument("--backend", choices=available_backends(), default="cdcl",
+                           help="solver backend for SAT-MapIt (default: cdcl)")
+    sweep_cmd.add_argument("--seed", type=int, default=None,
+                           help="random seed forwarded to the SAT-MapIt solver")
+    sweep_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
+                           default=AMOEncoding.SEQUENTIAL.value,
+                           help="at-most-one encoding (default: sequential)")
     sweep_cmd.add_argument("--write-report", metavar="PATH",
                            help="write EXPERIMENTS-style Markdown report to PATH")
     sweep_cmd.set_defaults(func=_cmd_sweep)

@@ -16,6 +16,17 @@ is encoded equivalently (given the exactly-one constraints of C1) as two
 implication families — ``source literal → one of its compatible destination
 literals`` and vice versa — plus conditional "no overwrite" clauses that use
 one auxiliary *occupancy* variable per (PE, cycle) slot to stay compact.
+
+The encoder can emit into two kinds of targets.  By default it builds a
+standalone :class:`repro.sat.cnf.CNF` (the classic one-shot interface).  For
+the incremental mapping loop it instead emits straight into a live
+:class:`repro.sat.backend.SolverBackend`, with every clause guarded by a
+per-attempt *selector* literal: ``clause`` becomes ``¬selector ∨ clause``, so
+the whole constraint group is active only while the mapper assumes
+``selector`` and is retired by simply dropping that assumption (plus a final
+``¬selector`` unit so the solver can simplify it away).  Because distinct
+attempts use disjoint variable blocks, satisfiability under the selector
+assumption is equivalent to the standalone formula's.
 """
 
 from __future__ import annotations
@@ -64,14 +75,57 @@ class EncodingStats:
     num_symmetry_clauses: int = 0
 
 
+class _Emitter:
+    """Counting clause sink, optionally guarding every clause with a literal.
+
+    Wraps anything exposing ``new_var``/``add_clause`` (a :class:`CNF` or a
+    live solver backend).  When ``selector`` is given, every emitted clause is
+    prefixed with ``¬selector`` so the whole group hangs off one assumption
+    literal.  The counters feed :class:`EncodingStats` uniformly in both
+    modes.
+    """
+
+    __slots__ = ("_sink", "_guard", "num_clauses", "num_vars_created")
+
+    def __init__(self, sink, selector: int | None = None) -> None:
+        self._sink = sink
+        self._guard = -selector if selector is not None else None
+        self.num_clauses = 0
+        self.num_vars_created = 0
+
+    def new_var(self) -> int:
+        self.num_vars_created += 1
+        return self._sink.new_var()
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals) -> None:
+        self.num_clauses += 1
+        if self._guard is None:
+            self._sink.add_clause(list(literals))
+        else:
+            # Guard at the tail: the watched literals (the first two) stay
+            # the ones the unguarded encoding would watch, so propagation
+            # inside a live attempt follows the same trajectory as a fresh
+            # solver on the standalone formula.
+            self._sink.add_clause([*literals, self._guard])
+
+
 @dataclass
 class MappingEncoding:
-    """A CNF mapping instance plus the variable bookkeeping to decode models."""
+    """A mapping instance plus the variable bookkeeping to decode models.
 
-    cnf: CNF
+    ``cnf`` holds the standalone formula in one-shot mode and is ``None``
+    when the encoder emitted into a live backend; ``selector`` is the
+    assumption literal guarding the attempt's constraint group in that case.
+    """
+
+    cnf: CNF | None
     variables: dict[tuple[int, int, int, int], int]
     literals_by_node: dict[int, list[int]]
     stats: EncodingStats = field(default_factory=EncodingStats)
+    selector: int | None = None
 
     def decode(self, model: dict[int, bool]) -> dict[int, tuple[int, int, int]]:
         """Extract ``node -> (pe, cycle, iteration)`` from a SAT model."""
@@ -96,12 +150,21 @@ class MappingEncoder:
         cgra: CGRA,
         kms: KernelMobilitySchedule,
         config: EncoderConfig | None = None,
+        sink=None,
+        selector: int | None = None,
     ) -> None:
+        """``sink`` is a live solver backend to emit into (``None`` builds a
+        standalone CNF); ``selector`` guards every emitted clause for
+        assumption-based retirement and requires a ``sink``."""
+        if selector is not None and sink is None:
+            raise EncodingError("a selector literal requires a backend sink")
         self.dfg = dfg
         self.cgra = cgra
         self.kms = kms
         self.config = config or EncoderConfig()
-        self._cnf = CNF()
+        self._cnf = CNF() if sink is None else None
+        self._selector = selector
+        self._emit = _Emitter(self._cnf if sink is None else sink, selector)
         self._variables: dict[tuple[int, int, int, int], int] = {}
         self._slot_literals: dict[tuple[int, int], list[int]] = {}
         self._occupancy_vars: dict[tuple[int, int], int] = {}
@@ -118,8 +181,8 @@ class MappingEncoder:
         self._encode_c3()
         if self.config.symmetry_breaking:
             self._encode_symmetry_breaking()
-        self._stats.num_variables = self._cnf.num_vars
-        self._stats.num_clauses = self._cnf.num_clauses
+        self._stats.num_variables = self._emit.num_vars_created
+        self._stats.num_clauses = self._emit.num_clauses
         literals_by_node = {
             node_id: [
                 self._variables[(node_id, pe, slot.cycle, slot.iteration)]
@@ -133,6 +196,7 @@ class MappingEncoder:
             variables=dict(self._variables),
             literals_by_node=literals_by_node,
             stats=self._stats,
+            selector=self._selector,
         )
 
     # ------------------------------------------------------------------
@@ -145,7 +209,7 @@ class MappingEncoder:
                 raise EncodingError(f"node {node_id} has no KMS slots")
             for slot in slots:
                 for pe in range(self.cgra.num_pes):
-                    var = self._cnf.new_var()
+                    var = self._emit.new_var()
                     key = (node_id, pe, slot.cycle, slot.iteration)
                     self._variables[key] = var
                     self._slot_literals.setdefault((pe, slot.cycle), []).append(var)
@@ -157,33 +221,33 @@ class MappingEncoder:
     # C1: every node is placed exactly once
     # ------------------------------------------------------------------
     def _encode_c1(self) -> None:
-        before = self._cnf.num_clauses
+        before = self._emit.num_clauses
         for node_id in self.dfg.node_ids:
             literals = [
                 self._var(node_id, pe, slot.cycle, slot.iteration)
                 for slot in self.kms.node_slots(node_id)
                 for pe in range(self.cgra.num_pes)
             ]
-            exactly_one(self._cnf, literals, self.config.amo_encoding)
-        self._stats.num_c1_clauses = self._cnf.num_clauses - before
+            exactly_one(self._emit, literals, self.config.amo_encoding)
+        self._stats.num_c1_clauses = self._emit.num_clauses - before
 
     # ------------------------------------------------------------------
     # C2: at most one node per (PE, cycle) slot
     # ------------------------------------------------------------------
     def _encode_c2(self) -> None:
-        before = self._cnf.num_clauses
+        before = self._emit.num_clauses
         for literals in self._slot_literals.values():
-            at_most_one(self._cnf, literals, self.config.amo_encoding)
-        self._stats.num_c2_clauses = self._cnf.num_clauses - before
+            at_most_one(self._emit, literals, self.config.amo_encoding)
+        self._stats.num_c2_clauses = self._emit.num_clauses - before
 
     # ------------------------------------------------------------------
     # C3: dependencies — neighbourhood, timing and output-register survival
     # ------------------------------------------------------------------
     def _encode_c3(self) -> None:
-        before = self._cnf.num_clauses
+        before = self._emit.num_clauses
         for edge in self.dfg.edges:
             self._encode_dependency(edge)
-        self._stats.num_c3_clauses = self._cnf.num_clauses - before
+        self._stats.num_c3_clauses = self._emit.num_clauses - before
 
     def _encode_dependency(self, edge: DFGEdge) -> None:
         src_slots = self.kms.node_slots(edge.src)
@@ -264,7 +328,7 @@ class MappingEncoder:
                             support.append(
                                 self._var(edge.src, pe, src_slot.cycle, src_slot.iteration)
                             )
-                self._cnf.add_clause([-anchor_var] + support)
+                self._emit.add_clause([-anchor_var] + support)
 
     def _overwrite_clauses(
         self,
@@ -290,21 +354,21 @@ class MappingEncoder:
                     for dst_pe in self.cgra.neighbours(src_pe, include_self=False):
                         dst_var = self._var(edge.dst, dst_pe, cycle, iteration)
                         if span > ii:
-                            self._cnf.add_clause([-src_var, -dst_var])
+                            self._emit.add_clause([-src_var, -dst_var])
                             continue
                         t_src = src_slot.flat_time(ii)
                         for flat in range(t_src + 1, t_src + span):
                             busy = self._occupancy(src_pe, flat % ii)
                             if busy is None:
                                 continue
-                            self._cnf.add_clause([-src_var, -dst_var, -busy])
+                            self._emit.add_clause([-src_var, -dst_var, -busy])
 
     # ------------------------------------------------------------------
     # Symmetry breaking
     # ------------------------------------------------------------------
     def _encode_symmetry_breaking(self) -> None:
         """Pin the most connected node to the grid's fundamental domain."""
-        before = self._cnf.num_clauses
+        before = self._emit.num_clauses
         domain = set(self.cgra.symmetry_fundamental_domain())
         if len(domain) >= self.cgra.num_pes:
             return
@@ -318,10 +382,10 @@ class MappingEncoder:
         for slot in self.kms.node_slots(anchor):
             for pe in range(self.cgra.num_pes):
                 if pe not in domain:
-                    self._cnf.add_clause(
+                    self._emit.add_clause(
                         [-self._var(anchor, pe, slot.cycle, slot.iteration)]
                     )
-        self._stats.num_symmetry_clauses = self._cnf.num_clauses - before
+        self._stats.num_symmetry_clauses = self._emit.num_clauses - before
 
     def _occupancy(self, pe: int, cycle: int) -> int | None:
         """Auxiliary variable that is true when any node occupies (pe, cycle).
@@ -335,8 +399,8 @@ class MappingEncoder:
         literals = self._slot_literals.get(key)
         if not literals:
             return None
-        busy = self._cnf.new_var()
+        busy = self._emit.new_var()
         self._occupancy_vars[key] = busy
         for literal in literals:
-            self._cnf.add_clause([-literal, busy])
+            self._emit.add_clause([-literal, busy])
         return busy

@@ -1,10 +1,21 @@
 """SAT-MapIt iterative mapping driver (paper Figure 3).
 
-For a candidate II the driver builds the KMS, encodes the mapping problem as
-CNF, calls the CDCL solver, and — on SAT — runs register allocation.  If the
+For a candidate II the driver builds the KMS, encodes the mapping problem,
+calls the SAT backend, and — on SAT — runs register allocation.  If the
 formula is UNSAT or the colouring fails, the II is incremented and the whole
 process repeats, until a mapping is found or a bound (maximum II, wall-clock
 timeout) is hit.
+
+The loop is *incremental* by default: one persistent solver backend serves
+the whole mapping run.  Each (II, slack) attempt encodes its constraint group
+guarded by a fresh selector literal and is solved under the assumption that
+the selector is true; retiring the attempt is an assumption flip plus one
+``¬selector`` unit.  Register-allocation rejections stay inside the same
+attempt — one blocking clause is added and the backend re-solves with all
+learned clauses, activities and phases intact, with zero re-encoded base
+clauses (the per-attempt stats prove it).  ``MapperConfig.incremental=False``
+restores per-attempt fresh solving, which the test-suite uses as the
+semantic-equivalence reference.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from repro.core.regalloc import RegisterAllocation, allocate_registers
 from repro.dfg.analysis import critical_path_length, minimum_initiation_interval
 from repro.dfg.graph import DFG
 from repro.exceptions import MappingError
+from repro.sat.backend import SolverBackend, create_backend
 from repro.sat.encodings import AMOEncoding
 from repro.sat.solver import CDCLSolver
 
@@ -62,6 +74,14 @@ class MapperConfig:
     #: clause over the overloaded PE's placements).
     regalloc_retries: int = 3
     amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    #: Solver backend name (see :mod:`repro.sat.backend`); ``"cdcl"`` is the
+    #: production engine, ``"dpll"`` the slow reference oracle.
+    backend: str = "cdcl"
+    #: Keep one persistent backend per mapping run and drive the iterative
+    #: loop through assumption-guarded constraint groups.  ``False`` restores
+    #: a fresh solver per (II, slack) attempt (retry rounds within an attempt
+    #: are still incremental — the solver is never rebuilt mid-attempt).
+    incremental: bool = True
     max_iteration_span: int | None = None
     enforce_output_register: bool = False
     symmetry_breaking: bool = True
@@ -85,6 +105,21 @@ class IIAttempt:
     solve_time: float = 0.0
     conflicts: int = 0
     decisions: int = 0
+    #: Solver calls made for this attempt (1 + register-allocation retries).
+    solve_calls: int = 0
+    #: Blocking clauses added by register-allocation retries.
+    blocking_clauses: int = 0
+    #: Clauses pushed into the solver from the first solve call onwards,
+    #: measured at the sink.  Equal to ``blocking_clauses`` — the proof that
+    #: retry rounds never re-emit the base encoding (asserted in tests).
+    retry_clauses_added: int = 0
+    #: Learned clauses alive in the persistent backend when this attempt
+    #: started — inference carried over from earlier attempts (0 in
+    #: non-incremental mode and for the first attempt).
+    learned_carried_in: int = 0
+    #: Assumption literal guarding this attempt's constraint group (``None``
+    #: in non-incremental mode).
+    selector: int | None = None
 
 
 @dataclass
@@ -101,6 +136,22 @@ class MappingOutcome:
     total_time: float = 0.0
     minimum_ii: int = 1
     timed_out: bool = False
+    #: Name of the solver backend that served the run.
+    backend_name: str = "cdcl"
+
+    @property
+    def incremental_resolves(self) -> int:
+        """Solver calls served purely incrementally (no re-encoded base).
+
+        Every solve call beyond an attempt's first is a register-allocation
+        retry answered by adding one blocking clause and re-solving.
+        """
+        return sum(max(0, attempt.solve_calls - 1) for attempt in self.attempts)
+
+    @property
+    def learned_carried(self) -> int:
+        """Learned clauses carried across attempt boundaries (summed)."""
+        return sum(attempt.learned_carried_in for attempt in self.attempts)
 
     @property
     def final_status(self) -> str:
@@ -146,14 +197,23 @@ class SatMapItMapper:
         mii = minimum_initiation_interval(dfg, cgra.num_pes)
         first_ii = max(start_ii or mii, 1)
         outcome = MappingOutcome(
-            success=False, dfg_name=dfg.name, cgra_name=cgra.name, minimum_ii=mii
+            success=False,
+            dfg_name=dfg.name,
+            cgra_name=cgra.name,
+            minimum_ii=mii,
+            backend_name=config.backend,
         )
+        # One persistent backend serves the whole run: learned clauses,
+        # activities and phases survive every II bump and slack escalation.
+        backend: SolverBackend | None = None
+        if config.incremental:
+            backend = create_backend(config.backend, random_seed=config.random_seed)
 
         for ii in range(first_ii, config.max_ii + 1):
             if self._out_of_time(start):
                 outcome.timed_out = True
                 break
-            found = self._try_ii(dfg, cgra, ii, outcome, start)
+            found = self._try_ii(dfg, cgra, ii, outcome, start, backend)
             if found is not None:
                 mapping, allocation = found
                 outcome.success = True
@@ -173,6 +233,7 @@ class SatMapItMapper:
         ii: int,
         outcome: MappingOutcome,
         start: float,
+        backend: SolverBackend | None = None,
     ) -> tuple[Mapping, RegisterAllocation | None] | None:
         """Attempt one II, trying increasing schedule slack before giving up."""
         config = self.config
@@ -192,17 +253,24 @@ class SatMapItMapper:
             encode_start = time.perf_counter()
             mobility = MobilitySchedule.build(dfg, slack=slack)
             kms = KernelMobilitySchedule.build(mobility, ii)
-            encoder = MappingEncoder(
-                dfg,
-                cgra,
-                kms,
-                EncoderConfig(
-                    amo_encoding=config.amo_encoding,
-                    max_iteration_span=config.max_iteration_span,
-                    enforce_output_register=config.enforce_output_register,
-                    symmetry_breaking=config.symmetry_breaking,
-                ),
+            encoder_config = EncoderConfig(
+                amo_encoding=config.amo_encoding,
+                max_iteration_span=config.max_iteration_span,
+                enforce_output_register=config.enforce_output_register,
+                symmetry_breaking=config.symmetry_breaking,
             )
+            if backend is not None:
+                # Incremental path: emit this attempt's constraint group into
+                # the persistent backend, guarded by a fresh selector literal.
+                attempt.learned_carried_in = backend.stats.learned_in_db
+                selector = backend.new_var()
+                attempt.selector = selector
+                encoder = MappingEncoder(
+                    dfg, cgra, kms, encoder_config, sink=backend, selector=selector
+                )
+            else:
+                selector = None
+                encoder = MappingEncoder(dfg, cgra, kms, encoder_config)
             encoding = encoder.encode()
             attempt.encode_time = time.perf_counter() - encode_start
             attempt.num_variables = encoding.stats.num_variables
@@ -225,17 +293,38 @@ class SatMapItMapper:
             # graph: instead of walking straight to the next II, the same
             # formula is re-solved with a blocking clause that rules out the
             # placement combination on the overloaded PE, asking the solver
-            # for a structurally different mapping at the same II.
+            # for a structurally different mapping at the same II.  Retry
+            # rounds never rebuild the solver or re-emit the base encoding —
+            # they add exactly one blocking clause and re-solve.
+            fresh_solver: CDCLSolver | None = None
+            retry_baseline: int | None = None
             for regalloc_round in range(config.regalloc_retries + 1):
-                solver = CDCLSolver(random_seed=config.random_seed)
-                result = solver.solve(
-                    encoding.cnf,
-                    conflict_limit=conflict_limit,
-                    time_limit=time_limit,
-                )
+                attempt.solve_calls += 1
+                if backend is not None:
+                    result = backend.solve(
+                        assumptions=[selector],
+                        conflict_limit=conflict_limit,
+                        time_limit=time_limit,
+                    )
+                elif fresh_solver is None:
+                    fresh_solver = CDCLSolver(random_seed=config.random_seed)
+                    result = fresh_solver.solve(
+                        encoding.cnf,
+                        conflict_limit=conflict_limit,
+                        time_limit=time_limit,
+                    )
+                else:
+                    result = fresh_solver.solve(
+                        conflict_limit=conflict_limit,
+                        time_limit=time_limit,
+                    )
                 attempt.solve_time += result.stats.solve_time
                 attempt.conflicts += result.stats.conflicts
                 attempt.decisions += result.stats.decisions
+                if retry_baseline is None:
+                    # Sink clause count after the first solve: everything
+                    # added past this point is retry work.
+                    retry_baseline = self._sink_clause_count(backend, fresh_solver)
 
                 if result.status == "UNKNOWN":
                     attempt.status = "UNKNOWN"
@@ -277,17 +366,43 @@ class SatMapItMapper:
                 self._log(f"II={ii} slack={slack}: register allocation failed "
                           f"({allocation.failure_reason})")
                 if regalloc_round < config.regalloc_retries:
-                    self._block_overloaded_pe(encoding, mapping, allocation)
+                    attempt.blocking_clauses += self._block_overloaded_pe(
+                        encoding, mapping, allocation,
+                        backend if backend is not None else fresh_solver,
+                    )
+                    attempt.retry_clauses_added = (
+                        self._sink_clause_count(backend, fresh_solver)
+                        - retry_baseline
+                    )
+            # Retire the attempt's constraint group: one root-level unit lets
+            # the solver satisfy (and effectively ignore) every guarded
+            # clause while learned inference stays available.  The group's
+            # variables are don't-cares from here on (every clause over them
+            # is guarded by the now-false selector), so pin them false too —
+            # otherwise every later solve would re-branch over them.
+            if backend is not None:
+                last_var = backend.num_vars
+                backend.add_clause([-selector])
+                for dead_var in range(selector + 1, last_var + 1):
+                    backend.add_clause([-dead_var])
             # Try the next slack level / II.
         return None
 
     @staticmethod
-    def _block_overloaded_pe(encoding, mapping: Mapping, allocation) -> None:
+    def _sink_clause_count(backend: SolverBackend | None, fresh_solver) -> int:
+        """Lifetime clause submissions of whichever sink serves the attempt."""
+        if backend is not None:
+            return backend.stats.clauses_added
+        return fresh_solver.clauses_added if fresh_solver is not None else 0
+
+    @staticmethod
+    def _block_overloaded_pe(encoding, mapping: Mapping, allocation, sink) -> int:
         """Forbid the placement combination that overloaded a register file.
 
-        Adds one clause saying "not all of these nodes on this PE at these
-        cycles again"; the next solver call must produce a mapping that
-        differs on the overloaded PE.
+        Adds one clause to ``sink`` (the live backend or the attempt's
+        solver) saying "not all of these nodes on this PE at these cycles
+        again"; the next solve call must produce a mapping that differs on
+        the overloaded PE.  Returns the number of clauses added.
         """
         failed_pe = allocation.failed_pe
         literals: list[int] = []
@@ -298,8 +413,15 @@ class SatMapItMapper:
             var = encoding.variables.get(key)
             if var is not None:
                 literals.append(-var)
-        if literals:
-            encoding.cnf.add_clause(literals)
+        if not literals:
+            return 0
+        if encoding.selector is not None:
+            # Guard the blocking clause with the attempt's selector so it is
+            # retired together with the rest of the constraint group (tail
+            # position keeps the watched literals the same as unguarded).
+            literals = literals + [-encoding.selector]
+        sink.add_clause(literals)
+        return 1
 
     # ------------------------------------------------------------------
     @staticmethod

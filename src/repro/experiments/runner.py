@@ -5,10 +5,16 @@ The paper's evaluation maps eleven loop kernels onto square meshes from 2x2 to
 and an II cap of 50, repeating PathSeeker ten times because it is randomised.
 This module reproduces that protocol with configurable (smaller) budgets so
 the full sweep stays tractable on a laptop and inside the test-suite.
+
+``run_sweep(jobs=N)`` distributes the (kernel, size, mapper) runs over a
+process pool.  Runs are independent and each mapper is deterministic for a
+fixed configuration, so a parallel sweep produces record-for-record the same
+results as the serial one, in the same order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.baselines import BaselineConfig, PathSeekerMapper, RampMapper
@@ -16,6 +22,7 @@ from repro.cgra.architecture import CGRA
 from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
 from repro.dfg.graph import DFG
 from repro.kernels import all_kernel_names, get_kernel
+from repro.sat.encodings import AMOEncoding
 
 SAT_MAPIT = "SAT-MapIt"
 RAMP = "RAMP"
@@ -39,6 +46,12 @@ class ExperimentConfig:
     #: PathSeeker is randomised; the paper repeats it 10 times and keeps the
     #: best result.
     pathseeker_repeats: int = 3
+    #: Solver backend for the SAT-MapIt runs (see :mod:`repro.sat.backend`).
+    backend: str = "cdcl"
+    #: At-most-one encoding used by the SAT-MapIt CNF construction.
+    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    #: Random seed forwarded to the SAT-MapIt solver configuration.
+    seed: int | None = None
 
 
 @dataclass
@@ -54,6 +67,12 @@ class RunRecord:
     minimum_ii: int
     attempts: int
     num_nodes: int
+    #: Solver-reuse metrics (SAT-MapIt only; zero for the heuristics):
+    #: solve calls served by the persistent backend without re-encoding the
+    #: base formula (register-allocation retries), and learned clauses
+    #: carried across (II, slack) attempt boundaries.
+    incremental_resolves: int = 0
+    learned_carried: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -108,6 +127,9 @@ def build_mapper(name: str, config: ExperimentConfig, seed: int | None = None):
                 # the iterative search can keep climbing the II (anytime
                 # behaviour on the largest kernels).
                 attempt_time_limit=max(5.0, config.timeout / 5.0),
+                backend=config.backend,
+                amo_encoding=config.amo_encoding,
+                random_seed=config.seed,
             )
         )
     if name == RAMP:
@@ -150,6 +172,8 @@ def run_single(
         minimum_ii=outcome.minimum_ii,
         attempts=len(outcome.attempts),
         num_nodes=dfg.num_nodes,
+        incremental_resolves=outcome.incremental_resolves,
+        learned_carried=outcome.learned_carried,
     )
 
 
@@ -180,20 +204,46 @@ def _outcome_rank(outcome: MappingOutcome) -> tuple[int, float]:
 def run_sweep(
     config: ExperimentConfig | None = None,
     progress: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run the full (kernels x sizes x mappers) sweep."""
+    """Run the full (kernels x sizes x mappers) sweep.
+
+    ``jobs`` > 1 distributes the independent runs over a process pool; the
+    records come back in the same deterministic order as the serial sweep.
+    """
     config = config or ExperimentConfig()
     result = SweepResult(config=config)
-    for kernel in config.kernels:
-        for size in config.sizes:
-            for mapper_name in config.mappers:
-                record = run_single(kernel, size, mapper_name, config)
-                result.records.append(record)
-                if progress:
-                    ii = record.ii if record.ii is not None else "-"
-                    print(
-                        f"  {kernel:13s} {size}x{size} {mapper_name:10s} "
-                        f"II={ii} ({record.status}, {record.mapping_time:.2f}s)",
-                        flush=True,
-                    )
+    tasks = [
+        (kernel, size, mapper_name)
+        for kernel in config.kernels
+        for size in config.sizes
+        for mapper_name in config.mappers
+    ]
+
+    def _report(record: RunRecord) -> None:
+        if progress:
+            ii = record.ii if record.ii is not None else "-"
+            print(
+                f"  {record.kernel:13s} {record.size}x{record.size} "
+                f"{record.mapper:10s} II={ii} "
+                f"({record.status}, {record.mapping_time:.2f}s)",
+                flush=True,
+            )
+
+    if jobs <= 1:
+        for kernel, size, mapper_name in tasks:
+            record = run_single(kernel, size, mapper_name, config)
+            result.records.append(record)
+            _report(record)
+        return result
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(run_single, kernel, size, mapper_name, config)
+            for kernel, size, mapper_name in tasks
+        ]
+        for future in futures:
+            record = future.result()
+            result.records.append(record)
+            _report(record)
     return result

@@ -7,14 +7,26 @@ This package is a self-contained SAT toolkit used by the SAT-MapIt core:
   exactly-one) in pairwise, sequential and commander flavours.
 * :mod:`repro.sat.dpll` — a small, easy-to-audit DPLL solver used as a
   reference oracle in tests.
-* :mod:`repro.sat.solver` — a CDCL solver (watched literals, 1-UIP clause
-  learning, VSIDS, phase saving, Luby restarts, LBD clause deletion) used for
+* :mod:`repro.sat.solver` — an incremental CDCL solver (watched literals,
+  1-UIP clause learning, VSIDS, phase saving, Luby restarts, LBD clause
+  deletion; the clause database persists across ``solve`` calls) used for
   production mapping runs.
+* :mod:`repro.sat.backend` — the pluggable :class:`SolverBackend` protocol
+  plus the ``cdcl``/``dpll`` registry the mapper selects engines from.
 
 Literals follow the DIMACS convention: variables are positive integers and a
 negative integer denotes the negation of the corresponding variable.
 """
 
+from repro.sat.backend import (
+    BackendStats,
+    CDCLBackend,
+    DPLLBackend,
+    SolverBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.sat.cnf import CNF, Clause
 from repro.sat.dpll import DPLLSolver
 from repro.sat.encodings import (
@@ -36,4 +48,11 @@ __all__ = [
     "CDCLSolver",
     "SolverResult",
     "SolverStats",
+    "BackendStats",
+    "CDCLBackend",
+    "DPLLBackend",
+    "SolverBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
 ]

@@ -1,0 +1,213 @@
+"""Pluggable incremental solver backends (the mapper's solving layer).
+
+The mapping loop re-solves a closely related formula at every (II, slack)
+attempt and after every register-allocation rejection.  Rebuilding a solver
+for each call throws away learned clauses, VSIDS activities and saved phases,
+so the mapper talks to the SAT engine through a :class:`SolverBackend`: a
+persistent object that accumulates variables and clauses over its lifetime
+and answers ``solve(assumptions=...)`` queries incrementally.
+
+Two backends ship with the repository:
+
+* ``"cdcl"`` — the production engine, a thin stats-keeping adapter over the
+  incremental :class:`repro.sat.solver.CDCLSolver` (clause database, learned
+  clauses, activities and phases persist across calls).
+* ``"dpll"`` — the easy-to-audit reference oracle, replaying the accumulated
+  clause set through :class:`repro.sat.dpll.DPLLSolver` on every call.  It is
+  not incremental internally but implements the same protocol, which lets the
+  test-suite cross-check the incremental engine under assumptions.
+
+Alternative engines (a native solver binding, a remote solving service) plug
+in through :func:`register_backend` and are selected by name via the mapper's
+``MapperConfig.backend`` / the CLI's ``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+from repro.sat.solver import CDCLSolver, SolverResult, SolverStats
+
+
+@dataclass
+class BackendStats:
+    """Cumulative counters over the lifetime of one backend instance.
+
+    Unlike :class:`repro.sat.solver.SolverStats` (which describes a single
+    ``solve`` call) these accumulate across calls, which is what the mapper's
+    reuse metrics are built from.
+    """
+
+    solve_calls: int = 0
+    variables_added: int = 0
+    clauses_added: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    solve_time: float = 0.0
+    #: Learned clauses currently alive in the database — i.e. inference
+    #: carried over into the *next* call (always 0 for non-learning engines).
+    learned_in_db: int = 0
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Protocol every pluggable solving engine implements.
+
+    A backend is a *persistent* solver: ``new_var`` and ``add_clause`` grow
+    the formula monotonically, and every ``solve`` call decides the current
+    clause set under the given assumption literals.  The variable/clause
+    interface is deliberately identical to :class:`repro.sat.cnf.CNF` so the
+    mapping encoder can emit straight into a live backend.
+    """
+
+    name: str
+    stats: BackendStats
+
+    @property
+    def num_vars(self) -> int: ...
+
+    def new_var(self) -> int: ...
+
+    def add_clause(self, literals: Sequence[int]) -> None: ...
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolverResult: ...
+
+
+class CDCLBackend:
+    """The production backend: incremental CDCL with cumulative stats."""
+
+    name = "cdcl"
+
+    def __init__(self, **solver_kwargs) -> None:
+        self._solver = CDCLSolver(**solver_kwargs)
+        self.stats = BackendStats()
+
+    @property
+    def num_vars(self) -> int:
+        return self._solver.num_vars
+
+    def new_var(self) -> int:
+        self.stats.variables_added += 1
+        return self._solver.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        self.stats.clauses_added += 1
+        self._solver.add_clause(literals)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolverResult:
+        result = self._solver.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            time_limit=time_limit,
+        )
+        call = result.stats
+        self.stats.solve_calls += 1
+        self.stats.conflicts += call.conflicts
+        self.stats.decisions += call.decisions
+        self.stats.propagations += call.propagations
+        self.stats.learned_clauses += call.learned_clauses
+        self.stats.solve_time += call.solve_time
+        self.stats.learned_in_db = self._solver.num_learned
+        return result
+
+
+class DPLLBackend:
+    """Reference-oracle backend: accumulated CNF replayed through DPLL.
+
+    ``conflict_limit`` maps onto the DPLL decision budget and ``time_limit``
+    onto the solver's deadline check; exhausting either is reported as
+    ``"UNKNOWN"`` like the CDCL engine does.
+    """
+
+    name = "dpll"
+
+    def __init__(self, random_seed: int | None = None, **_ignored) -> None:
+        # The oracle is deterministic; the seed is accepted (and ignored) so
+        # both backends can be built from the same mapper configuration.
+        self._cnf = CNF()
+        self.stats = BackendStats()
+
+    @property
+    def num_vars(self) -> int:
+        return self._cnf.num_vars
+
+    def new_var(self) -> int:
+        self.stats.variables_added += 1
+        return self._cnf.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        self.stats.clauses_added += 1
+        self._cnf.add_clause(literals)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolverResult:
+        start = time.perf_counter()
+        solver = DPLLSolver(max_decisions=conflict_limit)
+        stats = SolverStats()
+        try:
+            model = solver.solve(
+                self._cnf, assumptions=assumptions, time_limit=time_limit
+            )
+        except RuntimeError:  # decision or time budget exhausted
+            status, model = "UNKNOWN", None
+        else:
+            status = "SAT" if model is not None else "UNSAT"
+        stats.decisions = solver.decisions
+        stats.solve_time = time.perf_counter() - start
+        self.stats.solve_calls += 1
+        self.stats.decisions += stats.decisions
+        self.stats.solve_time += stats.solve_time
+        return SolverResult(status, model, stats)
+
+
+BackendFactory = Callable[..., SolverBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, **kwargs) -> SolverBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(**kwargs)
+
+
+register_backend("cdcl", CDCLBackend)
+register_backend("dpll", DPLLBackend)

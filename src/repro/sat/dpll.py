@@ -9,6 +9,7 @@ solvers on randomly generated formulas.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 from repro.sat.cnf import CNF
@@ -24,14 +25,25 @@ class DPLLSolver:
     def __init__(self, max_decisions: int | None = None) -> None:
         self._max_decisions = max_decisions
         self._decisions = 0
+        self._deadline: float | None = None
 
-    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        time_limit: float | None = None,
+    ) -> dict[int, bool] | None:
         """Return a satisfying assignment or ``None`` if unsatisfiable.
 
         The returned assignment maps every variable of ``cnf`` to a boolean.
         ``assumptions`` is a list of literals forced true before search.
+        ``time_limit`` (seconds) bounds the search: on expiry a
+        ``RuntimeError`` is raised, like an exhausted decision budget.
         """
         self._decisions = 0
+        self._deadline = (
+            time.perf_counter() + time_limit if time_limit is not None else None
+        )
         clauses = [list(clause) for clause in cnf.clauses]
         assignment: dict[int, bool] = {}
         for lit in assumptions:
@@ -63,6 +75,8 @@ class DPLLSolver:
             return assignment
         if self._max_decisions is not None and self._decisions >= self._max_decisions:
             raise RuntimeError("DPLL decision budget exhausted")
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise RuntimeError("DPLL time budget exhausted")
         self._decisions += 1
         var = _pick_branch_variable(clauses)
         for value in (True, False):

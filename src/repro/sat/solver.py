@@ -10,9 +10,18 @@ standard MiniSat-style architecture:
 * Luby-sequence restarts,
 * learned-clause database reduction driven by LBD (literals blocks distance).
 
-The public interface is intentionally small: :meth:`CDCLSolver.solve` takes a
-:class:`repro.sat.cnf.CNF` plus optional assumptions and returns a
-:class:`SolverResult` carrying the status, a model (when SAT) and statistics.
+The solver is **incremental**: the clause database, variable activities,
+saved phases and learned clauses all persist across :meth:`CDCLSolver.solve`
+calls.  Clauses and variables are added through :meth:`CDCLSolver.add_clause`
+and :meth:`CDCLSolver.new_var`, and each ``solve`` call takes a list of
+assumption literals that are replayed as pseudo-decisions below the real
+search (the MiniSat ``solve(assumps)`` interface).  This is what makes the
+mapper's iterative loop cheap: retiring one (II, slack) attempt and starting
+the next is an assumption flip, not a rebuild.
+
+For convenience ``solve`` also accepts a :class:`repro.sat.cnf.CNF`; passing
+one resets the solver and loads the formula, reproducing the classic
+one-shot behaviour the test-suite and the ablation benchmarks rely on.
 
 Internally literals are re-encoded as ``2 * var`` (positive) and
 ``2 * var + 1`` (negative); truth values are kept in a literal-indexed array
@@ -32,7 +41,6 @@ from repro.sat.cnf import CNF
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
-
 
 @dataclass
 class SolverStats:
@@ -83,7 +91,9 @@ class _Clause:
 
 
 class CDCLSolver:
-    """A CDCL SAT solver with VSIDS, restarts and clause deletion."""
+    """An incremental CDCL SAT solver with VSIDS, restarts and clause deletion."""
+
+    name = "cdcl"
 
     def __init__(
         self,
@@ -111,34 +121,135 @@ class CDCLSolver:
         #: Optional per-variable initial polarity (overrides initial_phase).
         self.phase_hints = phase_hints or {}
         self.stats = SolverStats()
+        self._reset()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of variables known to the solver."""
+        return self._nvars
+
+    @property
+    def num_learned(self) -> int:
+        """Learned clauses currently alive in the database."""
+        return len(self._learned)
+
+    @property
+    def num_clauses(self) -> int:
+        """Problem clauses currently attached (excludes root units)."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._nvars += 1
+        var = self._nvars
+        self._value.extend((_UNASSIGNED, _UNASSIGNED))
+        self._level.append(0)
+        self._reason.append(None)
+        activity = float(self.activity_hints.get(var, 0.0))
+        self._activity.append(activity)
+        self._phase.append(bool(self.phase_hints.get(var, self.initial_phase)))
+        self._watches.append([])
+        self._watches.append([])
+        self._seen.append(False)
+        heapq.heappush(self._order, (-activity, var))
+        return var
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable universe so ``num_vars`` is a valid variable."""
+        while self._nvars < num_vars:
+            self.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a clause to the persistent database.
+
+        The clause is simplified against the root-level assignment (MiniSat
+        style): literals already false at level 0 are dropped, and a clause
+        containing a root-true literal is discarded as satisfied.  Returns
+        ``False`` when the formula became unsatisfiable at level 0 (the
+        solver then answers ``UNSAT`` forever), ``True`` otherwise.
+        """
+        if self._unsat:
+            return False
+        self.clauses_added += 1
+        self._backtrack(0)
+        seen: set[int] = set()
+        lits: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed in a clause")
+            var = abs(lit)
+            if var > self._nvars:
+                self.ensure_vars(var)
+            internal = 2 * var if lit > 0 else 2 * var + 1
+            if internal ^ 1 in seen:
+                return True  # tautology
+            if internal in seen:
+                continue
+            seen.add(internal)
+            value = self._value[internal]
+            if value == _TRUE:
+                return True  # satisfied at the root level
+            if value == _FALSE:
+                continue  # root-falsified literal, drop it
+            lits.append(internal)
+        if not lits:
+            self._unsat = True
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None) or self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        self._attach_clause(_Clause(lits))
+        return True
+
     def solve(
         self,
-        cnf: CNF,
+        cnf: CNF | None = None,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
         time_limit: float | None = None,
     ) -> SolverResult:
-        """Decide satisfiability of ``cnf`` under optional ``assumptions``.
+        """Decide satisfiability under optional ``assumptions``.
 
-        ``conflict_limit`` and ``time_limit`` (seconds) bound the search; when
-        either budget is exhausted the result status is ``"UNKNOWN"``.
+        Without ``cnf`` this is an incremental call on the persistent clause
+        database (learned clauses, activities and phases are reused from
+        earlier calls).  Passing a ``cnf`` resets the solver and loads the
+        formula first — the classic one-shot interface.  ``conflict_limit``
+        and ``time_limit`` (seconds) bound the search; when either budget is
+        exhausted the result status is ``"UNKNOWN"``.
         """
         start = time.perf_counter()
+        # Fresh per-call stats *before* any work so clause-loading effort is
+        # attributed to this call and earlier ``SolverResult`` objects are
+        # never mutated after being returned.
         self.stats = SolverStats()
-        self._init(cnf)
-
-        status = self._add_problem_clauses(cnf)
-        if status == "UNSAT":
+        propagations_start = self._propagations
+        if cnf is not None:
+            self._reset()
+            propagations_start = 0
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                if not self.add_clause(clause):
+                    break
+        self._backtrack(0)
+        if not self._unsat and self._propagate() is not None:
+            self._unsat = True
+        if self._unsat:
+            self.stats.propagations = self._propagations - propagations_start
             self.stats.solve_time = time.perf_counter() - start
             return SolverResult("UNSAT", None, self.stats)
 
-        assumption_lits = [self._to_internal(lit) for lit in assumptions]
+        assumption_lits = []
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+            assumption_lits.append(self._to_internal(lit))
         status = self._search(assumption_lits, conflict_limit, time_limit, start)
 
+        self.stats.propagations = self._propagations - propagations_start
         self.stats.solve_time = time.perf_counter() - start
         if status == "SAT":
             model = {
@@ -151,22 +262,16 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _init(self, cnf: CNF) -> None:
-        nvars = cnf.num_vars
-        self._nvars = nvars
+    def _reset(self) -> None:
+        """Drop all state: variables, clauses, learned clauses, activities."""
+        self._nvars = 0
         #: literal-indexed truth values (index 2v / 2v+1)
-        self._value = [_UNASSIGNED] * (2 * nvars + 2)
-        self._level = [0] * (nvars + 1)
-        self._reason: list[_Clause | None] = [None] * (nvars + 1)
-        self._activity = [0.0] * (nvars + 1)
-        self._phase = [self.initial_phase] * (nvars + 1)
-        for var, value in self.activity_hints.items():
-            if 1 <= var <= nvars:
-                self._activity[var] = float(value)
-        for var, polarity in self.phase_hints.items():
-            if 1 <= var <= nvars:
-                self._phase[var] = bool(polarity)
-        self._watches: list[list[_Clause]] = [[] for _ in range(2 * nvars + 2)]
+        self._value: list[int] = [_UNASSIGNED, _UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [self.initial_phase]
+        self._watches: list[list[_Clause]] = [[], []]
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -174,11 +279,16 @@ class CDCLSolver:
         self._learned: list[_Clause] = []
         self._var_inc = 1.0
         self._cla_inc = 1.0
-        self._seen = [False] * (nvars + 1)
-        self._order: list[tuple[float, int]] = [
-            (-self._activity[var], var) for var in range(1, nvars + 1)
-        ]
-        heapq.heapify(self._order)
+        self._seen: list[bool] = [False]
+        self._order: list[tuple[float, int]] = []
+        self._unsat = False
+        #: Lifetime propagation counter; per-call stats are computed from
+        #: deltas so ``add_clause`` between calls never mutates a stats
+        #: object a previous ``solve`` already returned.
+        self._propagations = 0
+        #: Lifetime count of ``add_clause`` submissions (the mapper uses the
+        #: delta to prove retry rounds add only blocking clauses).
+        self.clauses_added = 0
 
     @staticmethod
     def _to_internal(lit: int) -> int:
@@ -188,20 +298,6 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Clause management
     # ------------------------------------------------------------------
-    def _add_problem_clauses(self, cnf: CNF) -> str:
-        for clause in cnf.clauses:
-            lits = [self._to_internal(lit) for lit in clause]
-            if not lits:
-                return "UNSAT"
-            if len(lits) == 1:
-                if not self._enqueue(lits[0], None):
-                    return "UNSAT"
-                continue
-            self._attach_clause(_Clause(lits))
-        if self._propagate() is not None:
-            return "UNSAT"
-        return "UNKNOWN"
-
     def _attach_clause(self, clause: _Clause) -> None:
         lits = clause.lits
         self._watches[lits[0] ^ 1].append(clause)
@@ -302,7 +398,7 @@ class CDCLSolver:
             watches[lit] = new_watch_list
 
         self._qhead = len(trail) if conflict is not None else qhead
-        self.stats.propagations += propagations
+        self._propagations += propagations
         return conflict
 
     # ------------------------------------------------------------------
@@ -485,6 +581,7 @@ class CDCLSolver:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
+                    self._unsat = True
                     return "UNSAT"
                 learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(backtrack_level)
@@ -526,12 +623,13 @@ class CDCLSolver:
                 lit = assumptions[level]
                 value = self._value[lit]
                 if value == _FALSE:
+                    # Unsatisfiable *under the assumptions* (the database
+                    # itself stays consistent for future calls).
                     return "UNSAT"
                 if value == _TRUE:
                     self._trail_lim.append(len(self._trail))
                     continue
                 next_decision = lit
-
             if next_decision is None:
                 next_decision = self._pick_branch_literal()
                 if next_decision is None:

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.experiments.report import render_markdown_report, write_markdown_report
+from repro.experiments.report import (
+    render_markdown_report,
+    solver_reuse_totals,
+    write_markdown_report,
+)
 from repro.experiments.runner import (
     PATHSEEKER,
     RAMP,
@@ -45,8 +49,9 @@ def synthetic_sweep() -> SweepResult:
         RunRecord("b", 2, SAT_MAPIT, "mapped", 4, 2.0, 4, 2, 20),
         RunRecord("b", 2, RAMP, "mapped", 6, 1.0, 4, 3, 20),
         RunRecord("b", 2, PATHSEEKER, "mapped", 5, 1.5, 4, 3, 20),
-        # kernel c: heuristics fail, SAT-MapIt maps
-        RunRecord("c", 2, SAT_MAPIT, "mapped", 10, 5.0, 10, 3, 40),
+        # kernel c: heuristics fail, SAT-MapIt maps (with solver reuse)
+        RunRecord("c", 2, SAT_MAPIT, "mapped", 10, 5.0, 10, 3, 40,
+                  incremental_resolves=2, learned_carried=150),
         RunRecord("c", 2, RAMP, "failed", None, 3.0, 10, 8, 40),
         RunRecord("c", 2, PATHSEEKER, "timeout", None, 6.0, 10, 9, 40),
     ]
@@ -72,6 +77,15 @@ class TestRunnerHelpers:
         assert record.ii >= record.minimum_ii
         assert record.kernel == "srand"
         assert record.num_nodes > 0
+        # Solver-reuse metrics are recorded (zero when the run needed no
+        # retries and carried no learned clauses, but never negative).
+        assert record.incremental_resolves >= 0
+        assert record.learned_carried >= 0
+
+    def test_run_single_baseline_has_no_reuse_metrics(self):
+        record = run_single("srand", 2, RAMP, FAST_CONFIG)
+        assert record.incremental_resolves == 0
+        assert record.learned_carried == 0
 
     def test_run_single_pathseeker_repeats(self):
         config = ExperimentConfig(
@@ -141,6 +155,15 @@ class TestReport:
         assert "Figure 6" in text
         assert "Headline" in text
         assert "| benchmark |" in text
+
+    def test_solver_reuse_totals_and_section(self):
+        sweep = synthetic_sweep()
+        resolves, carried = solver_reuse_totals(sweep)
+        assert (resolves, carried) == (2, 150)
+        text = render_markdown_report(sweep)
+        assert "## Solver reuse (incremental backend)" in text
+        assert "retries served without re-encoding: **2**" in text
+        assert "learned clauses carried across (II, slack) attempts: **150**" in text
 
     def test_write_report(self, tmp_path):
         path = tmp_path / "report.md"

@@ -21,6 +21,30 @@ class TestParser:
         )
         assert args.kernels == ["srand", "nw"]
         assert args.sizes == [2, 3]
+        assert args.jobs == 1
+        assert args.backend == "cdcl"
+        assert args.seed is None
+        assert args.amo_encoding == "sequential"
+
+    def test_solver_flags_plumbed(self):
+        args = build_parser().parse_args(
+            ["map", "--kernel", "srand", "--backend", "dpll", "--seed", "7",
+             "--amo-encoding", "pairwise"]
+        )
+        assert args.backend == "dpll"
+        assert args.seed == 7
+        assert args.amo_encoding == "pairwise"
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--backend", "cdcl", "--seed", "3",
+             "--amo-encoding", "commander"]
+        )
+        assert args.jobs == 4
+        assert args.seed == 3
+        assert args.amo_encoding == "commander"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--kernel", "srand", "--backend", "z3"])
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(SystemExit):
@@ -65,3 +89,22 @@ class TestCommands:
         assert exit_code == 0
         assert "Figure 6" in captured.out
         assert report.exists()
+
+    def test_map_with_dpll_backend_and_seed(self, capsys):
+        exit_code = main([
+            "map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+            "--timeout", "30", "--backend", "dpll", "--seed", "1",
+            "--amo-encoding", "pairwise",
+        ])
+        assert exit_code == 0
+        assert "II=" in capsys.readouterr().out
+
+    def test_sweep_command_parallel_jobs(self, capsys):
+        exit_code = main([
+            "sweep", "--kernels", "srand", "--sizes", "2", "--timeout", "20",
+            "--pathseeker-repeats", "1", "--jobs", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2 parallel jobs" in captured.out
+        assert "Figure 6" in captured.out
