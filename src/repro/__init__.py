@@ -16,21 +16,27 @@ High-level entry points:
 """
 
 from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import PEClass
+from repro.cgra.presets import arch_preset_names, get_arch_preset
 from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
-from repro.dfg.graph import DFG, DFGEdge, DFGNode, Opcode
+from repro.dfg.graph import DFG, DFGEdge, DFGNode, OpClass, Opcode
 from repro.frontend import compile_loop
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CGRA",
     "DFG",
     "DFGEdge",
     "DFGNode",
+    "OpClass",
     "Opcode",
+    "PEClass",
     "SatMapItMapper",
     "MapperConfig",
     "MappingOutcome",
+    "arch_preset_names",
     "compile_loop",
+    "get_arch_preset",
     "__version__",
 ]

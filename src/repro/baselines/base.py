@@ -22,10 +22,10 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import check_kernel_fits, effective_minimum_ii
 from repro.core.mapper import IIAttempt, MappingOutcome
 from repro.core.mapping import Mapping
 from repro.core.regalloc import allocate_registers
-from repro.dfg.analysis import minimum_initiation_interval
 from repro.dfg.graph import DFG
 
 
@@ -65,9 +65,10 @@ class HeuristicMapper:
         """Iteratively search for the smallest II the heuristic can realise."""
         config = self.config
         dfg.validate()
+        check_kernel_fits(dfg, cgra)
         start = time.perf_counter()
         rng = random.Random(config.random_seed)
-        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        mii = effective_minimum_ii(dfg, cgra)
         first_ii = max(start_ii or mii, 1)
         outcome = MappingOutcome(
             success=False, dfg_name=dfg.name, cgra_name=cgra.name, minimum_ii=mii
@@ -96,7 +97,7 @@ class HeuristicMapper:
                 if not allocation.success:
                     attempt.status = "REGALLOC_FAIL"
                     continue
-                mapping.registers = dict(allocation.assignment)
+                mapping.apply_allocation(allocation)
             attempt.status = "SAT"
             outcome.success = True
             outcome.ii = ii
@@ -364,13 +365,18 @@ def _try_window(
 def _candidate_pes(
     dfg: DFG, cgra: CGRA, node_id: int, pes: dict[int, int], rng: random.Random
 ) -> list[int]:
-    """PE candidates ordered by affinity to already-placed partners."""
+    """Capable PE candidates ordered by affinity to already-placed partners.
+
+    Only PEs implementing the node's op class are ever considered, so the
+    heuristics obey the same capability rules as the SAT encoder and the
+    comparison between mappers stays fair on heterogeneous fabrics.
+    """
     partner_pes = [
         pes[edge.src] for edge in dfg.predecessors(node_id) if edge.src in pes
     ] + [
         pes[edge.dst] for edge in dfg.successors(node_id) if edge.dst in pes
     ]
-    candidates = list(range(cgra.num_pes))
+    candidates = list(cgra.pes_supporting(dfg.node(node_id).opcode))
     rng.shuffle(candidates)
     if not partner_pes:
         return candidates

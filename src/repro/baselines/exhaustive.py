@@ -13,10 +13,11 @@ import itertools
 import time
 
 from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import check_kernel_fits, effective_minimum_ii
 from repro.core.mapper import IIAttempt, MappingOutcome
 from repro.core.mapping import Mapping
 from repro.core.regalloc import allocate_registers
-from repro.dfg.analysis import critical_path_length, minimum_initiation_interval
+from repro.dfg.analysis import critical_path_length
 from repro.dfg.graph import DFG
 from repro.exceptions import MappingError
 
@@ -50,8 +51,9 @@ class ExhaustiveMapper:
                 f"got {dfg.num_nodes}"
             )
         dfg.validate()
+        check_kernel_fits(dfg, cgra)
         start = time.perf_counter()
-        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        mii = effective_minimum_ii(dfg, cgra)
         outcome = MappingOutcome(
             success=False, dfg_name=dfg.name, cgra_name=cgra.name, minimum_ii=mii
         )
@@ -74,7 +76,7 @@ class ExhaustiveMapper:
                 if not allocation.success:
                     attempt.status = "REGALLOC_FAIL"
                     continue
-                mapping.registers = dict(allocation.assignment)
+                mapping.apply_allocation(allocation)
             attempt.status = "SAT"
             outcome.success = True
             outcome.ii = ii
@@ -88,9 +90,16 @@ class ExhaustiveMapper:
     def _search_ii(self, dfg: DFG, cgra: CGRA, ii: int, start: float) -> Mapping | None:
         """Depth-first enumeration with incremental pruning."""
         length = max(critical_path_length(dfg) + self.schedule_slack, ii)
-        positions = [
-            (pe, flat) for flat in range(length) for pe in range(cgra.num_pes)
-        ]
+        # Capability pruning: each node only ever visits the PEs that
+        # implement its opcode's class.
+        positions_for = {
+            node_id: [
+                (pe, flat)
+                for flat in range(length)
+                for pe in cgra.pes_supporting(dfg.node(node_id).opcode)
+            ]
+            for node_id in dfg.node_ids
+        }
         node_ids = dfg.node_ids
         assignment: dict[int, tuple[int, int]] = {}
         occupied: set[tuple[int, int]] = set()
@@ -133,7 +142,7 @@ class ExhaustiveMapper:
                 found.append(mapping)
                 return True
             node_id = node_ids[index]
-            for pe, flat in positions:
+            for pe, flat in positions_for[node_id]:
                 if (pe, flat % ii) in occupied:
                     continue
                 if not compatible(node_id, pe, flat):

@@ -3,11 +3,49 @@
 The target machine of the paper is a 2D mesh of processing elements (PEs),
 each with an ALU and a small local register file, connected to its nearest
 neighbours (Figure 1).  :class:`~repro.cgra.architecture.CGRA` captures the
-parameters the mapper needs: grid shape, register count per PE, and the
-interconnect topology (which PEs can exchange a value in one cycle).
+parameters the mapper needs: grid shape, register count per PE, the
+interconnect topology (which PEs can exchange a value in one cycle), and —
+for heterogeneous fabrics — the per-PE capability classes describing which
+functional units (ALU / MUL / DIV / MEM) each tile implements.
 """
 
 from repro.cgra.architecture import CGRA, PE
-from repro.cgra.topology import Topology, neighbourhood
+from repro.cgra.capabilities import (
+    ALL_OP_CLASSES,
+    PEClass,
+    capability_resource_mii,
+    check_kernel_fits,
+    effective_minimum_ii,
+    opcode_class_histogram,
+)
+from repro.cgra.presets import (
+    ARCH_PRESETS,
+    arch_preset_names,
+    get_arch_preset,
+    hycube_like,
+    mem_edge,
+    mem_edge_4x4,
+    mul_sparse,
+)
+from repro.cgra.topology import Topology, hop_distance, neighbourhood
 
-__all__ = ["CGRA", "PE", "Topology", "neighbourhood"]
+__all__ = [
+    "ALL_OP_CLASSES",
+    "ARCH_PRESETS",
+    "CGRA",
+    "PE",
+    "PEClass",
+    "Topology",
+    "arch_preset_names",
+    "capability_resource_mii",
+    "check_kernel_fits",
+    "effective_minimum_ii",
+    "get_arch_preset",
+    "hop_distance",
+    "hycube_like",
+    "mem_edge",
+    "mem_edge_4x4",
+    "mul_sparse",
+    "neighbourhood",
+    "opcode_class_histogram",
+]

@@ -1,0 +1,141 @@
+"""Capability model for heterogeneous CGRA fabrics.
+
+Real CGRAs are rarely homogeneous: memory ports sit on the array boundary
+(next to the data-memory banks), multipliers and dividers are instantiated on
+a subset of the PEs, and register-file sizes differ between "fat" and "thin"
+tiles.  This module describes those differences:
+
+* :class:`~repro.dfg.graph.OpClass` (defined next to the opcode set) names the
+  functional-unit classes an instruction may require;
+* :class:`PEClass` bundles a capability set and a register-file size under a
+  name (``"full"``, ``"alu"``, …);
+* the helpers below answer the fabric-level feasibility questions the mapper
+  asks before spending any SAT effort: can this kernel's opcode histogram fit
+  the fabric at all, and what II floor do the capability-constrained resources
+  impose?
+
+The :class:`~repro.cgra.architecture.CGRA` class holds a tuple of PE classes
+plus a per-PE assignment; an empty class table means the classic homogeneous
+fabric of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dfg.graph import DFG, OpClass
+from repro.exceptions import ArchitectureError, MappingError
+
+#: Capability set of the paper's homogeneous PEs: every class implemented.
+ALL_OP_CLASSES: frozenset[OpClass] = frozenset(OpClass)
+
+#: Name used for the implicit class of a homogeneous fabric.
+DEFAULT_CLASS_NAME = "default"
+
+
+@dataclass(frozen=True)
+class PEClass:
+    """A named kind of processing element.
+
+    ``registers`` overrides the fabric-wide ``registers_per_pe`` for PEs of
+    this class; ``None`` inherits the fabric default.
+    """
+
+    name: str
+    capabilities: frozenset[OpClass] = ALL_OP_CLASSES
+    registers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("PE class needs a non-empty name")
+        if not self.capabilities:
+            raise ArchitectureError(
+                f"PE class {self.name!r} must implement at least one op class"
+            )
+        object.__setattr__(
+            self, "capabilities", frozenset(OpClass(c) for c in self.capabilities)
+        )
+        if self.registers is not None and self.registers < 1:
+            raise ArchitectureError(
+                f"PE class {self.name!r} needs at least one register, "
+                f"got {self.registers}"
+            )
+
+    def to_spec(self) -> dict:
+        """JSON-serialisable description of the class."""
+        spec: dict = {"capabilities": sorted(c.value for c in self.capabilities)}
+        if self.registers is not None:
+            spec["registers"] = self.registers
+        return spec
+
+    @classmethod
+    def from_spec(cls, name: str, spec: dict) -> "PEClass":
+        """Build a class from its declarative description."""
+        if not isinstance(spec, dict):
+            raise ArchitectureError(
+                f"PE class {name!r} spec must be an object, got {type(spec).__name__}"
+            )
+        raw = spec.get("capabilities", sorted(c.value for c in OpClass))
+        try:
+            capabilities = frozenset(OpClass(entry) for entry in raw)
+        except ValueError as exc:
+            raise ArchitectureError(
+                f"PE class {name!r} lists an unknown capability: {exc}; "
+                f"known: {', '.join(c.value for c in OpClass)}"
+            ) from exc
+        return cls(name=name, capabilities=capabilities,
+                   registers=spec.get("registers"))
+
+
+def opcode_class_histogram(dfg: DFG) -> dict[OpClass, int]:
+    """Number of DFG nodes per required op class."""
+    counter: Counter[OpClass] = Counter(node.opcode.op_class for node in dfg.nodes)
+    return dict(counter)
+
+
+def check_kernel_fits(dfg: DFG, cgra) -> None:
+    """Raise :class:`MappingError` when no II can ever map ``dfg`` on ``cgra``.
+
+    A kernel whose opcode histogram needs an op class no PE implements is
+    infeasible at every II; failing here (with the histogram in the message)
+    saves the whole iterative SAT search.
+    """
+    missing: list[str] = []
+    for op_class, count in sorted(opcode_class_histogram(dfg).items()):
+        if count and not cgra.capable_pes(op_class):
+            missing.append(f"{count} {op_class.value} node(s)")
+    if missing:
+        raise MappingError(
+            f"kernel {dfg.name!r} cannot fit fabric {cgra.name!r} at any II: "
+            f"no PE implements {', '.join(missing)} "
+            f"(fabric capabilities: {cgra.capability_summary()})"
+        )
+
+
+def capability_resource_mii(dfg: DFG, cgra) -> int:
+    """Capability-aware resource MII.
+
+    The classic ResMII divides the node count by the PE count; on a
+    heterogeneous fabric each op class is additionally limited to its capable
+    PEs, so the bound is ``max over classes of ceil(#class nodes / #capable
+    PEs)``.  Assumes :func:`check_kernel_fits` has passed (every used class
+    has at least one capable PE).
+    """
+    best = 1
+    for op_class, count in opcode_class_histogram(dfg).items():
+        capable = len(cgra.capable_pes(op_class))
+        if count and capable:
+            best = max(best, math.ceil(count / capable))
+    return best
+
+
+def effective_minimum_ii(dfg: DFG, cgra) -> int:
+    """The MII seeding the iterative search, capability floor included."""
+    from repro.dfg.analysis import minimum_initiation_interval
+
+    return max(
+        minimum_initiation_interval(dfg, cgra.num_pes),
+        capability_resource_mii(dfg, cgra),
+    )

@@ -1,0 +1,108 @@
+"""Named heterogeneous fabric presets.
+
+Each preset models a fabric shape that shows up in real CGRA designs:
+
+* ``hycube_like`` — a 4x4 array in the spirit of HyCube: every PE has a
+  multiplier, but only the leftmost column talks to the data memory (the
+  load/store units sit next to the memory banks).
+* ``mem_edge_4x4`` — memory ports only on the boundary ring; the interior
+  PEs are pure compute tiles.  ``mem_edge(size)`` generalises to any square.
+* ``mul_sparse`` — multipliers/dividers only on a checkerboard subset, the
+  classic area-saving layout for DSP-heavy arrays; memory everywhere.
+
+Presets return ordinary :class:`~repro.cgra.architecture.CGRA` values, so
+everything downstream (encoder pruning, symmetry filtering, register
+allocation, the simulator's legality oracle) applies unchanged.  The registry
+feeds the CLI's ``--arch-preset`` flag and the experiment runner's
+heterogeneous sweep scenarios.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import PEClass
+from repro.dfg.graph import OpClass
+from repro.exceptions import ArchitectureError
+
+_COMPUTE = frozenset({OpClass.ALU, OpClass.MUL, OpClass.DIV})
+_FULL = frozenset(OpClass)
+_ALU_MEM = frozenset({OpClass.ALU, OpClass.MEM})
+
+
+def hycube_like(registers_per_pe: int = 4) -> CGRA:
+    """4x4 fabric with memory ports on the leftmost column only."""
+    classes = (
+        PEClass(name="mem_col", capabilities=_FULL),
+        PEClass(name="compute", capabilities=_COMPUTE),
+    )
+    return CGRA.patterned(
+        4, 4, classes,
+        lambda row, col: "mem_col" if col == 0 else "compute",
+        registers_per_pe=registers_per_pe,
+        name="hycube_like",
+    )
+
+
+def mem_edge(size: int = 4, registers_per_pe: int = 4) -> CGRA:
+    """Square fabric with memory ports only on the boundary ring."""
+    if size < 2:
+        raise ArchitectureError(f"mem_edge needs at least a 2x2 grid, got {size}")
+    classes = (
+        PEClass(name="edge", capabilities=_FULL),
+        PEClass(name="core", capabilities=_COMPUTE),
+    )
+
+    def assign(row: int, col: int) -> str:
+        on_edge = row in (0, size - 1) or col in (0, size - 1)
+        return "edge" if on_edge else "core"
+
+    return CGRA.patterned(
+        size, size, classes, assign,
+        registers_per_pe=registers_per_pe,
+        name=f"mem_edge_{size}x{size}",
+    )
+
+
+def mem_edge_4x4(registers_per_pe: int = 4) -> CGRA:
+    """The 4x4 instance of :func:`mem_edge` (the issue's reference fabric)."""
+    return mem_edge(4, registers_per_pe)
+
+
+def mul_sparse(size: int = 4, registers_per_pe: int = 4) -> CGRA:
+    """Square fabric with multipliers/dividers on a checkerboard subset."""
+    classes = (
+        PEClass(name="dsp", capabilities=_FULL),
+        PEClass(name="lite", capabilities=_ALU_MEM),
+    )
+    return CGRA.patterned(
+        size, size, classes,
+        lambda row, col: "dsp" if (row + col) % 2 == 0 else "lite",
+        registers_per_pe=registers_per_pe,
+        name=f"mul_sparse_{size}x{size}",
+    )
+
+
+ARCH_PRESETS: dict[str, Callable[[], CGRA]] = {
+    "hycube_like": hycube_like,
+    "mem_edge_4x4": mem_edge_4x4,
+    "mul_sparse": mul_sparse,
+}
+
+
+def arch_preset_names() -> list[str]:
+    """Names accepted by ``--arch-preset`` (stable order)."""
+    return sorted(ARCH_PRESETS)
+
+
+def get_arch_preset(name: str, registers_per_pe: int = 4) -> CGRA:
+    """Instantiate a preset fabric by name."""
+    try:
+        factory = ARCH_PRESETS[name]
+    except KeyError as exc:
+        raise ArchitectureError(
+            f"unknown architecture preset {name!r}; "
+            f"available: {', '.join(arch_preset_names())}"
+        ) from exc
+    return factory(registers_per_pe=registers_per_pe)

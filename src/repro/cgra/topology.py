@@ -70,3 +70,32 @@ def neighbourhood(
 def manhattan_distance(a: Position, b: Position) -> int:
     """Manhattan distance between two grid positions (no wrap-around)."""
     return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def hop_distance(
+    a: Position,
+    b: Position,
+    rows: int,
+    cols: int,
+    topology: Topology | str = Topology.MESH,
+) -> int:
+    """Exact minimum hop count between two positions on a given topology.
+
+    * ``MESH`` — Manhattan distance (one cardinal step per hop).
+    * ``TORUS`` — Manhattan distance with wrap-around: each axis may go the
+      short way around the ring.
+    * ``DIAGONAL`` — Chebyshev distance (king moves cover both axes at once).
+    * ``FULL`` — every pair of distinct PEs is one hop apart.
+    """
+    topology = Topology(topology)
+    if topology is Topology.FULL:
+        return 0 if a == b else 1
+    d_row = abs(a[0] - b[0])
+    d_col = abs(a[1] - b[1])
+    if topology is Topology.TORUS:
+        d_row = min(d_row, rows - d_row)
+        d_col = min(d_col, cols - d_col)
+        return d_row + d_col
+    if topology is Topology.DIAGONAL:
+        return max(d_row, d_col)
+    return d_row + d_col

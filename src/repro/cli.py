@@ -2,9 +2,10 @@
 
 Three sub-commands::
 
-    satmapit map --kernel gsm --rows 4 --cols 4        # map one kernel
-    satmapit sweep --sizes 2 3 --timeout 30            # reproduce Fig.6/Tables
-    satmapit show --kernel gsm                         # inspect a kernel DFG
+    satmapit map --kernel gsm --rows 4 --cols 4          # map one kernel
+    satmapit map --kernel nw --arch-preset mem_edge_4x4  # heterogeneous fabric
+    satmapit sweep --sizes 2 3 --timeout 30              # reproduce Fig.6/Tables
+    satmapit show --kernel gsm                           # inspect a kernel DFG
 
 ``python -m repro.cli`` works identically when the console script is not on
 PATH.
@@ -17,16 +18,19 @@ import sys
 from collections.abc import Sequence
 
 from repro.cgra.architecture import CGRA
+from repro.cgra.presets import arch_preset_names, get_arch_preset
 from repro.core.mapper import MapperConfig, SatMapItMapper
 from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
 from repro.core.visualize import render_mapping_report
 from repro.dfg.analysis import minimum_initiation_interval
+from repro.exceptions import ArchitectureError, MappingError
 from repro.experiments.report import write_markdown_report
-from repro.experiments.runner import ExperimentConfig, run_sweep
+from repro.experiments.runner import SCENARIOS, ExperimentConfig, run_sweep
 from repro.experiments.tables import (
     render_figure6,
     render_headline,
     render_mapping_time_table,
+    render_scenario_comparison,
 )
 from repro.frontend import compile_loop
 from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
@@ -43,9 +47,26 @@ def _load_dfg(args: argparse.Namespace):
     raise SystemExit("either --kernel or --source is required")
 
 
+def _load_cgra(args: argparse.Namespace) -> CGRA:
+    """Build the target fabric: spec file > named preset > rows/cols flags.
+
+    A spec file is authoritative (it carries its own register counts);
+    presets honour ``--registers``.
+    """
+    if args.arch_spec:
+        return CGRA.from_spec_file(args.arch_spec)
+    if args.arch_preset:
+        return get_arch_preset(args.arch_preset, registers_per_pe=args.registers)
+    return CGRA(rows=args.rows, cols=args.cols, registers_per_pe=args.registers)
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     dfg = _load_dfg(args)
-    cgra = CGRA(rows=args.rows, cols=args.cols, registers_per_pe=args.registers)
+    try:
+        cgra = _load_cgra(args)
+    except ArchitectureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     mapper = SatMapItMapper(
         MapperConfig(
             timeout=args.timeout,
@@ -55,11 +76,21 @@ def _cmd_map(args: argparse.Namespace) -> int:
             random_seed=args.seed,
         )
     )
-    outcome = mapper.map(dfg, cgra)
+    try:
+        outcome = mapper.map(dfg, cgra)
+    except MappingError as exc:
+        # E.g. the kernel's opcode histogram cannot fit the fabric at any II.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(outcome.summary())
     if outcome.mapping is not None:
         print()
         print(render_mapping_report(outcome.mapping, outcome.register_allocation))
+        if args.save_mapping:
+            with open(args.save_mapping, "w", encoding="utf-8") as stream:
+                stream.write(outcome.mapping.to_json())
+                stream.write("\n")
+            print(f"\nmapping saved to {args.save_mapping}")
         return 0
     return 1
 
@@ -73,9 +104,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend=args.backend,
         amo_encoding=AMOEncoding(args.amo_encoding),
         seed=args.seed,
+        scenarios=tuple(args.scenarios),
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
           f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
+          + (f" x {len(config.scenarios)} scenarios"
+             if len(config.scenarios) > 1 else "")
           + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else ""))
     sweep = run_sweep(config, progress=True, jobs=args.jobs)
     print()
@@ -86,6 +120,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for index, size in enumerate(config.sizes):
         print()
         print(render_mapping_time_table(sweep, size, number=str(index + 1)))
+    if len(config.scenarios) > 1:
+        for size in config.sizes:
+            print()
+            print(render_scenario_comparison(sweep, size))
     if args.write_report:
         write_markdown_report(sweep, args.write_report)
         print(f"\nreport written to {args.write_report}")
@@ -125,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--rows", type=int, default=4)
     map_cmd.add_argument("--cols", type=int, default=4)
     map_cmd.add_argument("--registers", type=int, default=4)
+    arch = map_cmd.add_mutually_exclusive_group()
+    arch.add_argument("--arch-preset", choices=arch_preset_names(),
+                      help="named heterogeneous fabric preset "
+                           "(overrides --rows/--cols, honours --registers)")
+    arch.add_argument("--arch-spec", metavar="FILE",
+                      help="JSON architecture spec file (see README.md; "
+                           "overrides --rows/--cols/--registers)")
+    map_cmd.add_argument("--save-mapping", metavar="PATH",
+                         help="write the found mapping as JSON for archiving "
+                              "and simulator replay")
     map_cmd.add_argument("--timeout", type=float, default=120.0)
     map_cmd.add_argument("--backend", choices=available_backends(), default="cdcl",
                          help="solver backend (default: cdcl)")
@@ -152,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
                            default=AMOEncoding.SEQUENTIAL.value,
                            help="at-most-one encoding (default: sequential)")
+    sweep_cmd.add_argument("--scenarios", nargs="+", choices=list(SCENARIOS),
+                           default=["homogeneous"],
+                           help="architecture scenarios to sweep "
+                                "(default: homogeneous)")
     sweep_cmd.add_argument("--write-report", metavar="PATH",
                            help="write EXPERIMENTS-style Markdown report to PATH")
     sweep_cmd.set_defaults(func=_cmd_sweep)

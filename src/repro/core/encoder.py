@@ -11,6 +11,13 @@ constraint families are produced:
   neighbour through the producer's output register are not overwritten before
   consumption (Equations 4 and 5).
 
+On heterogeneous fabrics the variable space is *capability-pruned*: a literal
+``x[n, p, c, it]`` is only created when PE ``p`` implements the functional
+class of node ``n``'s opcode, so illegal placements cost neither variables
+nor clauses (``EncodingStats.num_pruned_placements`` reports the saving; on a
+homogeneous fabric it is zero and the encoding is literal-for-literal the
+classic one).
+
 The paper presents C3 as a disjunction over compatible literal pairs; here it
 is encoded equivalently (given the exactly-one constraints of C1) as two
 implication families — ``source literal → one of its compatible destination
@@ -73,6 +80,10 @@ class EncodingStats:
     num_c2_clauses: int = 0
     num_c3_clauses: int = 0
     num_symmetry_clauses: int = 0
+    #: ``x[n, p, c, it]`` literals *not* created because PE ``p`` lacks the
+    #: capability for node ``n``'s opcode.  Zero on homogeneous fabrics (the
+    #: pruned encoding is then literal-for-literal the classic one).
+    num_pruned_placements: int = 0
 
 
 class _Emitter:
@@ -169,6 +180,21 @@ class MappingEncoder:
         self._slot_literals: dict[tuple[int, int], list[int]] = {}
         self._occupancy_vars: dict[tuple[int, int], int] = {}
         self._stats = EncodingStats()
+        # Capability pruning: a node's literals only range over the PEs that
+        # implement its opcode's class.  On a homogeneous fabric every node is
+        # allowed everywhere and the encoding is unchanged.
+        self._allowed_pes: dict[int, tuple[int, ...]] = {}
+        self._allowed_sets: dict[int, frozenset[int]] = {}
+        for node in dfg.nodes:
+            allowed = cgra.pes_supporting(node.opcode)
+            if not allowed:
+                raise EncodingError(
+                    f"no PE of {cgra.name!r} implements "
+                    f"{node.opcode.op_class.value} (needed by node "
+                    f"{node.node_id}, {node.opcode.value})"
+                )
+            self._allowed_pes[node.node_id] = allowed
+            self._allowed_sets[node.node_id] = frozenset(allowed)
 
     # ------------------------------------------------------------------
     # Public API
@@ -187,7 +213,7 @@ class MappingEncoder:
             node_id: [
                 self._variables[(node_id, pe, slot.cycle, slot.iteration)]
                 for slot in self.kms.node_slots(node_id)
-                for pe in range(self.cgra.num_pes)
+                for pe in self._allowed_pes[node_id]
             ]
             for node_id in self.dfg.node_ids
         }
@@ -203,12 +229,15 @@ class MappingEncoder:
     # Variable creation
     # ------------------------------------------------------------------
     def _create_variables(self) -> None:
+        num_pes = self.cgra.num_pes
         for node_id in self.dfg.node_ids:
             slots = self.kms.node_slots(node_id)
             if not slots:
                 raise EncodingError(f"node {node_id} has no KMS slots")
+            allowed = self._allowed_pes[node_id]
+            self._stats.num_pruned_placements += (num_pes - len(allowed)) * len(slots)
             for slot in slots:
-                for pe in range(self.cgra.num_pes):
+                for pe in allowed:
                     var = self._emit.new_var()
                     key = (node_id, pe, slot.cycle, slot.iteration)
                     self._variables[key] = var
@@ -226,7 +255,7 @@ class MappingEncoder:
             literals = [
                 self._var(node_id, pe, slot.cycle, slot.iteration)
                 for slot in self.kms.node_slots(node_id)
-                for pe in range(self.cgra.num_pes)
+                for pe in self._allowed_pes[node_id]
             ]
             exactly_one(self._emit, literals, self.config.amo_encoding)
         self._stats.num_c1_clauses = self._emit.num_clauses - before
@@ -297,22 +326,21 @@ class MappingEncoder:
         else:
             anchor_slots = self.kms.node_slots(edge.dst)
 
+        anchor_node = edge.src if forward else edge.dst
+        other_node = edge.dst if forward else edge.src
+        other_allowed = self._allowed_sets[other_node]
         for anchor_slot in anchor_slots:
-            for anchor_pe in range(self.cgra.num_pes):
-                if forward:
-                    anchor_var = self._var(
-                        edge.src, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
-                    )
-                else:
-                    anchor_var = self._var(
-                        edge.dst, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
-                    )
+            for anchor_pe in self._allowed_pes[anchor_node]:
+                anchor_var = self._var(
+                    anchor_node, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
+                )
                 support: list[int] = []
                 if forward:
                     entries = compatible_slots[(anchor_slot.cycle, anchor_slot.iteration)]
                     for cycle, iteration, _span in entries:
                         for pe in self.cgra.neighbours(anchor_pe, include_self=True):
-                            support.append(self._var(edge.dst, pe, cycle, iteration))
+                            if pe in other_allowed:
+                                support.append(self._var(edge.dst, pe, cycle, iteration))
                 else:
                     t_dst = anchor_slot.flat_time(ii) + edge.distance * ii
                     for src_slot in self.kms.node_slots(edge.src):
@@ -325,9 +353,11 @@ class MappingEncoder:
                         if t_dst - src_slot.flat_time(ii) < latency:
                             continue
                         for pe in self.cgra.neighbours(anchor_pe, include_self=True):
-                            support.append(
-                                self._var(edge.src, pe, src_slot.cycle, src_slot.iteration)
-                            )
+                            if pe in other_allowed:
+                                support.append(
+                                    self._var(edge.src, pe, src_slot.cycle,
+                                              src_slot.iteration)
+                                )
                 self._emit.add_clause([-anchor_var] + support)
 
     def _overwrite_clauses(
@@ -346,12 +376,15 @@ class MappingEncoder:
           cycles strictly between production and consumption.
         """
         ii = self.kms.ii
+        dst_allowed = self._allowed_sets[edge.dst]
         for src_slot in self.kms.node_slots(edge.src):
             entries = compatible_slots[(src_slot.cycle, src_slot.iteration)]
-            for src_pe in range(self.cgra.num_pes):
+            for src_pe in self._allowed_pes[edge.src]:
                 src_var = self._var(edge.src, src_pe, src_slot.cycle, src_slot.iteration)
                 for cycle, iteration, span in entries:
                     for dst_pe in self.cgra.neighbours(src_pe, include_self=False):
+                        if dst_pe not in dst_allowed:
+                            continue
                         dst_var = self._var(edge.dst, dst_pe, cycle, iteration)
                         if span > ii:
                             self._emit.add_clause([-src_var, -dst_var])
@@ -367,7 +400,14 @@ class MappingEncoder:
     # Symmetry breaking
     # ------------------------------------------------------------------
     def _encode_symmetry_breaking(self) -> None:
-        """Pin the most connected node to the grid's fundamental domain."""
+        """Pin the most connected node to the grid's fundamental domain.
+
+        Sound on heterogeneous fabrics too: the fundamental domain is built
+        from *capability-preserving* automorphisms, so transforming a legal
+        mapping until the anchor reaches the domain keeps every node on a PE
+        of the same capability signature — the anchor necessarily lands on a
+        PE inside ``domain ∩ allowed(anchor)``.
+        """
         before = self._emit.num_clauses
         domain = set(self.cgra.symmetry_fundamental_domain())
         if len(domain) >= self.cgra.num_pes:
@@ -380,7 +420,7 @@ class MappingEncoder:
             ),
         )
         for slot in self.kms.node_slots(anchor):
-            for pe in range(self.cgra.num_pes):
+            for pe in self._allowed_pes[anchor]:
                 if pe not in domain:
                     self._emit.add_clause(
                         [-self._var(anchor, pe, slot.cycle, slot.iteration)]

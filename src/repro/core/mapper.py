@@ -24,11 +24,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import check_kernel_fits, effective_minimum_ii
 from repro.core.encoder import EncoderConfig, MappingEncoder
 from repro.core.mapping import Mapping
 from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
 from repro.core.regalloc import RegisterAllocation, allocate_registers
-from repro.dfg.analysis import critical_path_length, minimum_initiation_interval
+from repro.dfg.analysis import critical_path_length
 from repro.dfg.graph import DFG
 from repro.exceptions import MappingError
 from repro.sat.backend import SolverBackend, create_backend
@@ -187,14 +188,18 @@ class SatMapItMapper:
     def map(self, dfg: DFG, cgra: CGRA, start_ii: int | None = None) -> MappingOutcome:
         """Find the smallest feasible II for ``dfg`` on ``cgra``.
 
-        The search starts at the minimum initiation interval (max of ResMII
-        and RecMII) unless ``start_ii`` overrides it, and increments the II on
-        UNSAT answers or register-allocation failures.
+        The search starts at the minimum initiation interval (max of ResMII,
+        RecMII and — on heterogeneous fabrics — the capability-constrained
+        resource bound) unless ``start_ii`` overrides it, and increments the
+        II on UNSAT answers or register-allocation failures.  A kernel whose
+        opcode histogram cannot fit the fabric at any II (an op class with no
+        capable PE) raises :class:`MappingError` before any SAT work.
         """
         config = self.config
         dfg.validate()
+        check_kernel_fits(dfg, cgra)
         start = time.perf_counter()
-        mii = minimum_initiation_interval(dfg, cgra.num_pes)
+        mii = effective_minimum_ii(dfg, cgra)
         first_ii = max(start_ii or mii, 1)
         outcome = MappingOutcome(
             success=False,
@@ -360,7 +365,7 @@ class SatMapItMapper:
                     dfg, cgra, mapping, config.neighbour_register_file_access
                 )
                 if allocation.success:
-                    mapping.registers = dict(allocation.assignment)
+                    mapping.apply_allocation(allocation)
                     return mapping, allocation
                 attempt.status = "REGALLOC_FAIL"
                 self._log(f"II={ii} slack={slack}: register allocation failed "

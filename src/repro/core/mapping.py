@@ -10,6 +10,7 @@ code.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.cgra.architecture import CGRA
@@ -40,6 +41,11 @@ class Mapping:
     ii: int
     placements: dict[int, Placement] = field(default_factory=dict)
     registers: dict[int, int] = field(default_factory=dict)
+    #: ``node -> [register per live copy]`` from register allocation (values
+    #: whose live range exceeds the II rotate through several registers).
+    #: Carried so an archived mapping replays through the simulator exactly,
+    #: without re-running allocation.
+    register_copies: dict[int, list[int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -55,6 +61,18 @@ class Mapping:
             return self.placements[node_id]
         except KeyError as exc:
             raise MappingError(f"node {node_id} has no placement") from exc
+
+    def apply_allocation(self, allocation) -> None:
+        """Record a successful register allocation on the mapping.
+
+        Stores the first-copy assignment (``registers``) and the full
+        per-copy rotation (``register_copies``) so the mapping archives and
+        replays without the allocation object.
+        """
+        self.registers = dict(allocation.assignment)
+        self.register_copies = {
+            node: list(regs) for node, regs in allocation.all_copies.items()
+        }
 
     # ------------------------------------------------------------------
     # Derived views
@@ -105,6 +123,8 @@ class Mapping:
 
         * every DFG node is placed exactly once on an existing PE and a cycle
           within ``[0, II)``;
+        * every node sits on a PE whose capability set covers its opcode
+          (heterogeneous fabrics);
         * no two nodes share a (PE, kernel cycle) slot;
         * every dependency connects neighbouring (or identical) PEs;
         * every dependency respects modulo-schedule timing:
@@ -114,6 +134,7 @@ class Mapping:
         """
         problems: list[str] = []
         problems.extend(self._check_completeness())
+        problems.extend(self._check_capabilities())
         problems.extend(self._check_slot_exclusivity())
         problems.extend(self._check_dependencies())
         if check_overwrite:
@@ -139,6 +160,21 @@ class Mapping:
                 problems.append(
                     f"node {placement.node_id} placed at cycle {placement.cycle}, "
                     f"outside the kernel of II={self.ii}"
+                )
+        return problems
+
+    def _check_capabilities(self) -> list[str]:
+        problems = []
+        for placement in self.placements.values():
+            if not 0 <= placement.pe < self.cgra.num_pes:
+                continue  # reported by the completeness check
+            node = self.dfg.node(placement.node_id)
+            pe = self.cgra.pe(placement.pe)
+            if not pe.supports(node.opcode):
+                problems.append(
+                    f"node {node.node_id} ({node.opcode.value}) placed on "
+                    f"{pe.name} which only implements "
+                    f"{'/'.join(sorted(c.value for c in pe.capabilities))}"
                 )
         return problems
 
@@ -208,6 +244,62 @@ class Mapping:
                     )
                     break
         return problems
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Self-contained plain-data form: DFG, fabric spec and placements."""
+        return {
+            "format": "satmapit-mapping/1",
+            "ii": self.ii,
+            "dfg": self.dfg.to_dict(),
+            "cgra": self.cgra.to_spec(),
+            "placements": [
+                {
+                    "node": placement.node_id,
+                    "pe": placement.pe,
+                    "cycle": placement.cycle,
+                    "iteration": placement.iteration,
+                }
+                for placement in sorted(
+                    self.placements.values(), key=lambda p: p.node_id
+                )
+            ],
+            "registers": {str(node): reg for node, reg in self.registers.items()},
+            "register_copies": {
+                str(node): list(regs) for node, regs in self.register_copies.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to JSON (archive a mapping without re-solving)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mapping":
+        """Rebuild a mapping (with its DFG and fabric) from :meth:`to_dict`."""
+        dfg = DFG.from_dict(data["dfg"])
+        cgra = CGRA.from_spec(data["cgra"])
+        mapping = cls(dfg=dfg, cgra=cgra, ii=int(data["ii"]))
+        for entry in data.get("placements", ()):
+            mapping.place(
+                entry["node"], entry["pe"], entry["cycle"],
+                entry.get("iteration", 0),
+            )
+        mapping.registers = {
+            int(node): int(reg) for node, reg in data.get("registers", {}).items()
+        }
+        mapping.register_copies = {
+            int(node): [int(reg) for reg in regs]
+            for node, regs in data.get("register_copies", {}).items()
+        }
+        return mapping
+
+    @classmethod
+    def from_json(cls, text: str) -> "Mapping":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def __repr__(self) -> str:
         return (

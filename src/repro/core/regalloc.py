@@ -143,9 +143,10 @@ def allocate_registers(
     if mapping.ii < 1:
         raise RegisterAllocationError(f"mapping has invalid II {mapping.ii}")
     live_ranges = compute_live_ranges(dfg, mapping, neighbour_register_file_access)
-    registers = cgra.registers_per_pe
 
     # Pressure check (MAXLIVE): cheap necessary condition and useful metric.
+    # Register files may differ per PE on heterogeneous fabrics, so pressure
+    # is judged against each PE's own capacity.
     max_pressure = 0
     pressure: dict[tuple[int, int], int] = {}
     for live in live_ranges.values():
@@ -157,13 +158,19 @@ def allocate_registers(
     allocation = RegisterAllocation(
         success=True, live_ranges=live_ranges, max_pressure=max_pressure
     )
-    if max_pressure > registers:
-        pe, cycle = max(pressure, key=pressure.get)  # type: ignore[arg-type]
+    overloaded = [
+        (count - cgra.pe(pe).num_registers, pe, cycle)
+        for (pe, cycle), count in pressure.items()
+        if count > cgra.pe(pe).num_registers
+    ]
+    if overloaded:
+        excess, pe, cycle = max(overloaded)
         allocation.success = False
         allocation.failed_pe = pe
         allocation.failure_reason = (
-            f"register pressure {max_pressure} exceeds the {registers} registers of "
-            f"PE {pe} at kernel cycle {cycle}"
+            f"register pressure {pressure[(pe, cycle)]} exceeds the "
+            f"{cgra.pe(pe).num_registers} registers of PE {pe} at kernel "
+            f"cycle {cycle}"
         )
         return allocation
 
@@ -180,6 +187,7 @@ def allocate_registers(
         node_id: set(live.occupied_cycles()) for node_id, live in live_ranges.items()
     }
     for pe in range(cgra.num_pes):
+        registers = cgra.pe(pe).num_registers
         vertices: list[tuple[int, int, set[int]]] = []
         for live in live_ranges.values():
             if live.pe != pe:

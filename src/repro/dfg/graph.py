@@ -18,6 +18,23 @@ import networkx as nx
 from repro.exceptions import DFGError
 
 
+class OpClass(str, Enum):
+    """Functional-unit classes an opcode may require on a PE.
+
+    The CGRA layer describes each processing element by the set of classes it
+    implements; the mapper only places a node on a PE whose capability set
+    contains the node's class.  ``ALU`` covers the single-cycle integer
+    operations every PE provides on the paper's fabric; ``MUL``, ``DIV`` and
+    ``MEM`` mark the expensive units that heterogeneous fabrics instantiate
+    only on some PEs.
+    """
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    MEM = "mem"
+
+
 class Opcode(str, Enum):
     """Instruction set of the target CGRA's processing elements."""
 
@@ -44,6 +61,17 @@ class Opcode(str, Enum):
     def is_memory(self) -> bool:
         """Whether the operation accesses the data memory."""
         return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def op_class(self) -> OpClass:
+        """The functional-unit class a PE must implement to execute this op."""
+        if self.is_memory:
+            return OpClass.MEM
+        if self is Opcode.MUL:
+            return OpClass.MUL
+        if self is Opcode.DIV:
+            return OpClass.DIV
+        return OpClass.ALU
 
     @property
     def is_commutative(self) -> bool:
@@ -236,6 +264,53 @@ class DFG:
         for edge in self._edges:
             graph.add_edge(edge.src, edge.dst, distance=edge.distance)
         return graph
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (JSON-serialisable) of the graph."""
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "id": node.node_id,
+                    "opcode": node.opcode.value,
+                    "name": node.name,
+                    "constant": node.constant,
+                    "latency": node.latency,
+                }
+                for node in self.nodes
+            ],
+            "edges": [
+                {
+                    "src": edge.src,
+                    "dst": edge.dst,
+                    "distance": edge.distance,
+                    "operand_index": edge.operand_index,
+                }
+                for edge in self._edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DFG":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        dfg = cls(name=data.get("name", "dfg"))
+        for entry in data.get("nodes", ()):
+            dfg.add_node(
+                entry["id"],
+                Opcode(entry["opcode"]),
+                entry.get("name", ""),
+                entry.get("constant"),
+                entry.get("latency", 1),
+            )
+        for entry in data.get("edges", ()):
+            dfg.add_edge(
+                entry["src"],
+                entry["dst"],
+                entry.get("distance", 0),
+                entry.get("operand_index", 0),
+            )
+        dfg.validate()
+        return dfg
 
     def copy(self, name: str | None = None) -> "DFG":
         """Return a structural copy of the graph."""

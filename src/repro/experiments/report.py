@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SAT_MAPIT, SweepResult
+from repro.experiments.runner import HOMOGENEOUS, SAT_MAPIT, SweepResult
 from repro.experiments.tables import (
     figure6_rows,
     headline_winrate,
     mapping_time_rows,
     never_worse,
+    scenario_rows,
 )
 
 _TABLE_NUMBERS = {2: "I", 3: "II", 4: "III", 5: "IV"}
@@ -97,6 +98,29 @@ def _markdown_times(sweep: SweepResult, size: int) -> list[str]:
     return lines
 
 
+def _markdown_scenarios(sweep: SweepResult, size: int) -> list[str]:
+    scenarios = sweep.config.scenarios or (HOMOGENEOUS,)
+    lines = [
+        f"### Heterogeneous fabrics — SAT-MapIt II on the {size}x{size} mesh",
+        "",
+        "Capability-constrained fabrics (memory ports only on the boundary,"
+        " sparse multipliers) versus the paper's homogeneous array.  ΔII is"
+        " the capability cost of the first heterogeneous scenario.",
+        "",
+        "| benchmark | " + " | ".join(scenarios) + " | ΔII |",
+        "|---" * (len(scenarios) + 2) + "|",
+    ]
+    for row in scenario_rows(sweep, size):
+        cells = []
+        for _scenario, ii, status in row.results:
+            cells.append(str(ii) if ii is not None else f"✗ ({status})")
+        penalty = row.ii_penalty
+        delta = f"{penalty:+d}" if penalty is not None else "—"
+        lines.append(f"| {row.kernel} | " + " | ".join(cells) + f" | {delta} |")
+    lines.append("")
+    return lines
+
+
 def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = None) -> str:
     """Render the full Markdown report for one sweep."""
     options = options or ReportOptions()
@@ -115,6 +139,8 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             f"* per-run timeout: {config.timeout:.0f} s (paper: 4000 s), "
             f"II cap: {config.max_ii}",
             f"* registers per PE: {config.registers_per_pe}, 4-neighbour mesh",
+            f"* architecture scenarios: "
+            f"{', '.join(config.scenarios or (HOMOGENEOUS,))}",
             f"* PathSeeker repeats per case: {config.pathseeker_repeats} (paper: 10)",
             "",
             "## Headline (paper Section V)",
@@ -137,6 +163,9 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
     for size in config.sizes:
         if size in _TABLE_NUMBERS:
             lines.extend(_markdown_times(sweep, size))
+    if len(config.scenarios or ()) > 1:
+        for size in config.sizes:
+            lines.extend(_markdown_scenarios(sweep, size))
     return "\n".join(lines) + "\n"
 
 

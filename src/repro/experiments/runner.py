@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines import BaselineConfig, PathSeekerMapper, RampMapper
 from repro.cgra.architecture import CGRA
+from repro.cgra.presets import mem_edge, mul_sparse
 from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
 from repro.dfg.graph import DFG
 from repro.kernels import all_kernel_names, get_kernel
@@ -27,6 +28,28 @@ from repro.sat.encodings import AMOEncoding
 SAT_MAPIT = "SAT-MapIt"
 RAMP = "RAMP"
 PATHSEEKER = "PathSeeker"
+
+#: The homogeneous fabric of the paper's evaluation.
+HOMOGENEOUS = "homogeneous"
+#: Memory ports restricted to the boundary ring (see repro.cgra.presets).
+MEM_EDGE = "mem_edge"
+#: Multipliers/dividers on a checkerboard subset.
+MUL_SPARSE = "mul_sparse"
+
+SCENARIOS = (HOMOGENEOUS, MEM_EDGE, MUL_SPARSE)
+
+
+def build_fabric(scenario: str, size: int, registers_per_pe: int = 4) -> CGRA:
+    """Instantiate the fabric for one (scenario, mesh size) pair."""
+    if scenario == HOMOGENEOUS:
+        return CGRA.square(size, registers_per_pe=registers_per_pe)
+    if scenario == MEM_EDGE:
+        return mem_edge(size, registers_per_pe=registers_per_pe)
+    if scenario == MUL_SPARSE:
+        return mul_sparse(size, registers_per_pe=registers_per_pe)
+    raise ValueError(
+        f"unknown architecture scenario {scenario!r}; available: {', '.join(SCENARIOS)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -52,6 +75,11 @@ class ExperimentConfig:
     amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
     #: Random seed forwarded to the SAT-MapIt solver configuration.
     seed: int | None = None
+    #: Architecture scenarios to sweep.  ``"homogeneous"`` is the paper's
+    #: setup; adding ``"mem_edge"`` / ``"mul_sparse"`` re-runs the whole
+    #: protocol on the corresponding heterogeneous fabric so the II cost of
+    #: capability constraints can be tabulated per kernel.
+    scenarios: tuple[str, ...] = (HOMOGENEOUS,)
 
 
 @dataclass
@@ -67,6 +95,8 @@ class RunRecord:
     minimum_ii: int
     attempts: int
     num_nodes: int
+    #: Architecture scenario the run used (``"homogeneous"`` by default).
+    scenario: str = HOMOGENEOUS
     #: Solver-reuse metrics (SAT-MapIt only; zero for the heuristics):
     #: solve calls served by the persistent backend without re-encoding the
     #: base formula (register-allocation retries), and learned clauses
@@ -86,18 +116,30 @@ class SweepResult:
     config: ExperimentConfig
     records: list[RunRecord] = field(default_factory=list)
 
-    def record(self, kernel: str, size: int, mapper: str) -> RunRecord | None:
+    def record(
+        self, kernel: str, size: int, mapper: str, scenario: str = HOMOGENEOUS
+    ) -> RunRecord | None:
         for entry in self.records:
-            if entry.kernel == kernel and entry.size == size and entry.mapper == mapper:
+            if (
+                entry.kernel == kernel
+                and entry.size == size
+                and entry.mapper == mapper
+                and entry.scenario == scenario
+            ):
                 return entry
         return None
 
-    def best_soa(self, kernel: str, size: int) -> RunRecord | None:
+    def best_soa(
+        self, kernel: str, size: int, scenario: str = HOMOGENEOUS
+    ) -> RunRecord | None:
         """Best-of(RAMP, PathSeeker) for one (kernel, size) — paper Figure 6."""
         candidates = [
             entry
             for entry in self.records
-            if entry.kernel == kernel and entry.size == size and entry.mapper != SAT_MAPIT
+            if entry.kernel == kernel
+            and entry.size == size
+            and entry.mapper != SAT_MAPIT
+            and entry.scenario == scenario
         ]
         if not candidates:
             return None
@@ -151,11 +193,12 @@ def run_single(
     size: int,
     mapper_name: str,
     config: ExperimentConfig | None = None,
+    scenario: str = HOMOGENEOUS,
 ) -> RunRecord:
-    """Map one kernel on one mesh size with one mapper and record the result."""
+    """Map one kernel on one fabric with one mapper and record the result."""
     config = config or ExperimentConfig()
     dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    cgra = CGRA.square(size, registers_per_pe=config.registers_per_pe)
+    cgra = build_fabric(scenario, size, config.registers_per_pe)
 
     if mapper_name == PATHSEEKER and config.pathseeker_repeats > 1:
         outcome = _best_pathseeker_outcome(dfg, cgra, config)
@@ -172,6 +215,7 @@ def run_single(
         minimum_ii=outcome.minimum_ii,
         attempts=len(outcome.attempts),
         num_nodes=dfg.num_nodes,
+        scenario=scenario,
         incremental_resolves=outcome.incremental_resolves,
         learned_carried=outcome.learned_carried,
     )
@@ -214,7 +258,8 @@ def run_sweep(
     config = config or ExperimentConfig()
     result = SweepResult(config=config)
     tasks = [
-        (kernel, size, mapper_name)
+        (kernel, size, mapper_name, scenario)
+        for scenario in (config.scenarios or (HOMOGENEOUS,))
         for kernel in config.kernels
         for size in config.sizes
         for mapper_name in config.mappers
@@ -223,24 +268,27 @@ def run_sweep(
     def _report(record: RunRecord) -> None:
         if progress:
             ii = record.ii if record.ii is not None else "-"
+            scenario_tag = (
+                "" if record.scenario == HOMOGENEOUS else f" [{record.scenario}]"
+            )
             print(
                 f"  {record.kernel:13s} {record.size}x{record.size} "
                 f"{record.mapper:10s} II={ii} "
-                f"({record.status}, {record.mapping_time:.2f}s)",
+                f"({record.status}, {record.mapping_time:.2f}s){scenario_tag}",
                 flush=True,
             )
 
     if jobs <= 1:
-        for kernel, size, mapper_name in tasks:
-            record = run_single(kernel, size, mapper_name, config)
+        for kernel, size, mapper_name, scenario in tasks:
+            record = run_single(kernel, size, mapper_name, config, scenario)
             result.records.append(record)
             _report(record)
         return result
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
-            pool.submit(run_single, kernel, size, mapper_name, config)
-            for kernel, size, mapper_name in tasks
+            pool.submit(run_single, kernel, size, mapper_name, config, scenario)
+            for kernel, size, mapper_name, scenario in tasks
         ]
         for future in futures:
             record = future.result()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SAT_MAPIT, RunRecord, SweepResult
+from repro.experiments.runner import HOMOGENEOUS, SAT_MAPIT, RunRecord, SweepResult
 
 TIMEOUT_MARK = "x(timeout)"
 FAILED_MARK = "x(II cap)"
@@ -61,12 +61,23 @@ class TimeRow:
 # ----------------------------------------------------------------------
 # Data extraction
 # ----------------------------------------------------------------------
+def _base_scenario(sweep: SweepResult) -> str:
+    """The scenario the headline tables describe: first configured one.
+
+    Usually ``homogeneous``; a sweep run purely on a heterogeneous scenario
+    still gets Figure 6 / Tables I-IV for that fabric.
+    """
+    scenarios = sweep.config.scenarios or (HOMOGENEOUS,)
+    return scenarios[0]
+
+
 def figure6_rows(sweep: SweepResult, size: int) -> list[Figure6Row]:
     """The Figure-6 panel for one mesh size."""
+    scenario = _base_scenario(sweep)
     rows: list[Figure6Row] = []
     for kernel in sweep.config.kernels:
-        sat = sweep.record(kernel, size, SAT_MAPIT)
-        soa = sweep.best_soa(kernel, size)
+        sat = sweep.record(kernel, size, SAT_MAPIT, scenario)
+        soa = sweep.best_soa(kernel, size, scenario)
         if sat is None and soa is None:
             continue
         rows.append(
@@ -84,10 +95,11 @@ def figure6_rows(sweep: SweepResult, size: int) -> list[Figure6Row]:
 
 def mapping_time_rows(sweep: SweepResult, size: int) -> list[TimeRow]:
     """The Table I-IV rows for one mesh size."""
+    scenario = _base_scenario(sweep)
     rows: list[TimeRow] = []
     for kernel in sweep.config.kernels:
-        sat = sweep.record(kernel, size, SAT_MAPIT)
-        soa = sweep.best_soa(kernel, size)
+        sat = sweep.record(kernel, size, SAT_MAPIT, scenario)
+        soa = sweep.best_soa(kernel, size, scenario)
         if sat is None or soa is None:
             continue
         rows.append(
@@ -133,6 +145,51 @@ def never_worse(sweep: SweepResult) -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class ScenarioRow:
+    """SAT-MapIt II for one kernel across architecture scenarios."""
+
+    kernel: str
+    size: int
+    #: ``scenario -> (ii or None, status)`` in the sweep's scenario order.
+    results: tuple[tuple[str, int | None, str], ...]
+
+    def ii_for(self, scenario: str) -> int | None:
+        for name, ii, _status in self.results:
+            if name == scenario:
+                return ii
+        return None
+
+    @property
+    def ii_penalty(self) -> int | None:
+        """Extra II the first heterogeneous scenario costs vs homogeneous.
+
+        ``None`` when either side has no mapping (incomparable).
+        """
+        base = self.ii_for(HOMOGENEOUS)
+        others = [ii for name, ii, _ in self.results if name != HOMOGENEOUS]
+        if base is None or not others or others[0] is None:
+            return None
+        return others[0] - base
+
+
+def scenario_rows(sweep: SweepResult, size: int) -> list[ScenarioRow]:
+    """SAT-MapIt II per kernel and scenario for one mesh size."""
+    scenarios = sweep.config.scenarios or (HOMOGENEOUS,)
+    rows: list[ScenarioRow] = []
+    for kernel in sweep.config.kernels:
+        results = []
+        for scenario in scenarios:
+            entry = sweep.record(kernel, size, SAT_MAPIT, scenario)
+            if entry is None:
+                results.append((scenario, None, "missing"))
+            else:
+                results.append((scenario, entry.ii, entry.status))
+        if any(status != "missing" for _, _, status in results):
+            rows.append(ScenarioRow(kernel=kernel, size=size, results=tuple(results)))
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -176,6 +233,42 @@ def render_mapping_time_table(sweep: SweepResult, size: int, number: str = "") -
             f"{row.kernel:13s} {row.soa_time:12.2f} {row.satmapit_time:12.2f} "
             f"{row.delta:12.2f}"
         )
+    return "\n".join(lines)
+
+
+def render_scenario_comparison(sweep: SweepResult, size: int) -> str:
+    """SAT-MapIt II across architecture scenarios on one mesh size.
+
+    Shows what capability constraints (memory ports on the edge, sparse
+    multipliers) cost in achieved II relative to the homogeneous fabric.
+    """
+    scenarios = sweep.config.scenarios or (HOMOGENEOUS,)
+    rows = scenario_rows(sweep, size)
+    header = f"{'benchmark':13s} " + " ".join(
+        f"{scenario:>12s}" for scenario in scenarios
+    ) + f" {'ΔII':>6s}"
+    lines = [
+        f"Scenario comparison — SAT-MapIt II on {size}x{size} fabrics "
+        "(lower is better)",
+        header,
+    ]
+    for row in rows:
+        cells = []
+        for _scenario, ii, status in row.results:
+            if ii is not None:
+                cell = str(ii)
+            elif status == "missing":
+                cell = "-"
+            else:
+                cell = _ii_cell(ii, status)
+            cells.append(f"{cell:>12}")
+        penalty = row.ii_penalty
+        delta = f"{penalty:+d}" if penalty is not None else "-"
+        lines.append(f"{row.kernel:13s} " + " ".join(cells) + f" {delta:>6s}")
+    lines.append(
+        "legend: ΔII = first heterogeneous scenario minus homogeneous "
+        "(capability cost)"
+    )
     return "\n".join(lines)
 
 

@@ -14,6 +14,12 @@ the right iteration.  Any stale or clobbered value is reported as an error, so
 a mapping that passes simulation is correct end to end: placement, timing,
 output-register survival and register allocation all agree.
 
+On heterogeneous fabrics the simulator doubles as the end-to-end capability
+legality oracle: executing an instruction on a PE that does not implement its
+functional class raises :class:`SimulationError` immediately — a mapping that
+runs to completion is therefore placement-, timing-, transfer- *and*
+capability-correct.
+
 Memory semantics (LOAD/STORE contents) stay in the golden model: the machine
 checks *dataflow delivery*, the reference checks *computation*.
 """
@@ -97,8 +103,19 @@ class CGRASimulator:
         history = self.reference.run(num_iterations)
 
         # Build the execution timeline: (absolute cycle, node, iteration, pe).
+        # Executing an opcode on a PE lacking the functional unit is a
+        # hardware impossibility, not a recoverable dataflow error — refuse
+        # to run such a mapping at all.
         timeline: dict[int, list[tuple[int, int, int]]] = {}
         for node_id, placement in mapping.placements.items():
+            node = dfg.node(node_id)
+            pe_model = mapping.cgra.pe(placement.pe)
+            if not pe_model.supports(node.opcode):
+                raise SimulationError(
+                    f"node {node_id} executes {node.opcode.value} on "
+                    f"{pe_model.name}, which only implements "
+                    f"{'/'.join(sorted(c.value for c in pe_model.capabilities))}"
+                )
             start = placement.flat_time(ii)
             for k in range(num_iterations):
                 cycle = start + k * ii
@@ -165,9 +182,11 @@ class CGRASimulator:
 
     # ------------------------------------------------------------------
     def _registers_for(self, node_id: int) -> list[int]:
-        if self.register_allocation is None:
-            return []
-        return self.register_allocation.all_copies.get(node_id, [])
+        if self.register_allocation is not None:
+            return self.register_allocation.all_copies.get(node_id, [])
+        # Archived mappings carry the per-copy assignment themselves, so a
+        # deserialized mapping replays exactly without the allocation object.
+        return self.mapping.register_copies.get(node_id, [])
 
     def _check_transfer(
         self,

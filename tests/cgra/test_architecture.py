@@ -144,3 +144,36 @@ def test_neighbour_table_consistent_with_topology(rows, cols):
     for pe in range(cgra.num_pes):
         for other in cgra.neighbours(pe, include_self=False):
             assert cgra.distance(pe, other) == 1
+
+
+class TestTopologyAwareDistance:
+    def test_mesh_distance_is_manhattan(self):
+        cgra = CGRA.square(4)
+        assert cgra.distance(0, 15) == 6
+
+    def test_torus_distance_accounts_for_wrap_around(self):
+        cgra = CGRA.square(4, topology="torus")
+        assert cgra.distance(0, 15) == 2  # both axes go the short way around
+        assert cgra.distance(0, 3) == 1   # wrap link in one hop
+
+    def test_diagonal_distance_is_chebyshev(self):
+        cgra = CGRA.square(4, topology="diagonal")
+        assert cgra.distance(0, 15) == 3
+
+    def test_full_distance_is_one_hop(self):
+        cgra = CGRA.square(4, topology=Topology.FULL)
+        assert cgra.distance(0, 15) == 1
+        assert cgra.distance(7, 7) == 0
+
+    def test_distance_lower_bounds_hops_on_every_topology(self):
+        """distance is 1 exactly on the one-hop neighbourhood."""
+        for topology in Topology:
+            cgra = CGRA(rows=3, cols=4, topology=topology)
+            for a in range(cgra.num_pes):
+                for b in range(cgra.num_pes):
+                    if a == b:
+                        assert cgra.distance(a, b) == 0
+                    elif cgra.are_neighbours(a, b, include_self=False):
+                        assert cgra.distance(a, b) == 1
+                    else:
+                        assert cgra.distance(a, b) >= 2

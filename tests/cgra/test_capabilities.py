@@ -1,0 +1,316 @@
+"""Tests for the heterogeneous capability model (PE classes, specs, presets)."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import (
+    ALL_OP_CLASSES,
+    PEClass,
+    capability_resource_mii,
+    check_kernel_fits,
+    effective_minimum_ii,
+    opcode_class_histogram,
+)
+from repro.cgra.presets import (
+    arch_preset_names,
+    get_arch_preset,
+    hycube_like,
+    mem_edge,
+    mem_edge_4x4,
+    mul_sparse,
+)
+from repro.cgra.topology import Topology
+from repro.dfg.graph import DFG, OpClass, Opcode
+from repro.exceptions import ArchitectureError, MappingError
+
+
+def two_class_fabric(rows=2, cols=2, mem_pes=(0,), registers=4, mem_registers=None):
+    """Tiny fabric where only ``mem_pes`` can touch memory."""
+    classes = (
+        PEClass(name="mem", capabilities=ALL_OP_CLASSES, registers=mem_registers),
+        PEClass(name="alu", capabilities=frozenset({OpClass.ALU})),
+    )
+    class_map = tuple(
+        "mem" if index in mem_pes else "alu" for index in range(rows * cols)
+    )
+    return CGRA(rows=rows, cols=cols, registers_per_pe=registers,
+                pe_classes=classes, class_map=class_map)
+
+
+class TestOpClass:
+    def test_memory_opcodes(self):
+        assert Opcode.LOAD.op_class is OpClass.MEM
+        assert Opcode.STORE.op_class is OpClass.MEM
+
+    def test_expensive_units(self):
+        assert Opcode.MUL.op_class is OpClass.MUL
+        assert Opcode.DIV.op_class is OpClass.DIV
+
+    def test_everything_else_is_alu(self):
+        for opcode in Opcode:
+            if opcode in (Opcode.LOAD, Opcode.STORE, Opcode.MUL, Opcode.DIV):
+                continue
+            assert opcode.op_class is OpClass.ALU
+
+
+class TestPEClass:
+    def test_rejects_empty_capabilities(self):
+        with pytest.raises(ArchitectureError):
+            PEClass(name="x", capabilities=frozenset())
+
+    def test_rejects_bad_register_count(self):
+        with pytest.raises(ArchitectureError):
+            PEClass(name="x", registers=0)
+
+    def test_from_spec_rejects_unknown_capability(self):
+        with pytest.raises(ArchitectureError, match="unknown capability"):
+            PEClass.from_spec("x", {"capabilities": ["alu", "tensor"]})
+
+    def test_spec_round_trip(self):
+        original = PEClass(name="mem", capabilities=frozenset({OpClass.ALU, OpClass.MEM}),
+                           registers=8)
+        rebuilt = PEClass.from_spec("mem", original.to_spec())
+        assert rebuilt == original
+
+
+class TestHeterogeneousCGRA:
+    def test_homogeneous_by_default(self):
+        cgra = CGRA.square(3)
+        assert cgra.is_homogeneous
+        for pe in cgra.pes:
+            assert pe.capabilities == ALL_OP_CLASSES
+            assert pe.supports(Opcode.LOAD)
+
+    def test_capabilities_assigned_per_pe(self):
+        cgra = two_class_fabric(mem_pes=(0, 3))
+        assert not cgra.is_homogeneous
+        assert cgra.pe(0).supports(Opcode.STORE)
+        assert not cgra.pe(1).supports(Opcode.STORE)
+        assert cgra.pe(1).supports(Opcode.ADD)
+        assert cgra.capable_pes(OpClass.MEM) == (0, 3)
+        assert cgra.capable_pes(OpClass.ALU) == (0, 1, 2, 3)
+        assert cgra.pes_supporting(Opcode.LOAD) == (0, 3)
+
+    def test_per_class_register_override(self):
+        cgra = two_class_fabric(mem_registers=8)
+        assert cgra.pe(0).num_registers == 8
+        assert cgra.pe(1).num_registers == 4
+
+    def test_class_map_length_checked(self):
+        with pytest.raises(ArchitectureError, match="class_map"):
+            CGRA(rows=2, cols=2, pe_classes=(PEClass(name="a"),),
+                 class_map=("a", "a", "a"))
+
+    def test_unknown_class_name_rejected(self):
+        with pytest.raises(ArchitectureError, match="undeclared"):
+            CGRA(rows=1, cols=2, pe_classes=(PEClass(name="a"),),
+                 class_map=("a", "b"))
+
+    def test_describe_mentions_heterogeneity(self):
+        description = two_class_fabric().describe()
+        assert "heterogeneous" in description
+        assert "mem:1" in description
+
+
+class TestSymmetriesWithCapabilities:
+    def test_homogeneous_symmetries_unchanged(self):
+        assert len(CGRA.square(3).symmetries) == 8
+
+    def test_capability_breaking_layout_filters_symmetries(self):
+        # Memory only on corner PE 0 of a 2x2: only the automorphisms fixing
+        # that corner survive — the identity and the main-diagonal transpose.
+        cgra = two_class_fabric(mem_pes=(0,))
+        assert set(cgra.symmetries) == {(0, 1, 2, 3), (0, 2, 1, 3)}
+
+    def test_symmetric_layout_keeps_matching_automorphisms(self):
+        # Memory on the full left column of a 2x2: the vertical flip
+        # preserves the layout, the horizontal one does not.
+        cgra = two_class_fabric(mem_pes=(0, 2))
+        for permutation in cgra.symmetries:
+            for pe in range(cgra.num_pes):
+                assert (
+                    cgra.pe(permutation[pe]).capabilities == cgra.pe(pe).capabilities
+                )
+        assert len(cgra.symmetries) >= 2
+
+    def test_fundamental_domain_respects_capabilities(self):
+        cgra = mem_edge_4x4()
+        domain = set(cgra.symmetry_fundamental_domain())
+        for pe in range(cgra.num_pes):
+            orbit = {permutation[pe] for permutation in cgra.symmetries}
+            assert orbit & domain
+
+    def test_full_topology_heterogeneous_domain(self):
+        classes = (PEClass(name="mem"), PEClass(name="alu",
+                                                capabilities=frozenset({OpClass.ALU})))
+        cgra = CGRA(rows=2, cols=2, topology=Topology.FULL, pe_classes=classes,
+                    class_map=("mem", "alu", "alu", "alu"))
+        # One representative per capability signature.
+        assert cgra.symmetry_fundamental_domain() == (0, 1)
+
+    def test_torus_translations_are_symmetries(self):
+        cgra = CGRA.square(3, topology="torus")
+        assert len(cgra.symmetries) > 8
+        for permutation in cgra.symmetries:
+            assert sorted(permutation) == list(range(9))
+
+
+class TestSpecs:
+    SPEC = {
+        "name": "edge_demo",
+        "rows": 3,
+        "cols": 3,
+        "registers_per_pe": 4,
+        "topology": "mesh",
+        "pe_classes": {
+            "edge": {"capabilities": ["alu", "mul", "div", "mem"]},
+            "core": {"capabilities": ["alu", "mul"], "registers": 2},
+        },
+        "assignment": [
+            ["edge", "edge", "edge"],
+            ["edge", "core", "edge"],
+            ["edge", "edge", "edge"],
+        ],
+    }
+
+    def test_from_spec(self):
+        cgra = CGRA.from_spec(self.SPEC)
+        assert cgra.name == "edge_demo"
+        assert not cgra.is_homogeneous
+        centre = cgra.pe_index((1, 1))
+        assert not cgra.pe(centre).supports(Opcode.LOAD)
+        assert cgra.pe(centre).num_registers == 2
+
+    def test_spec_round_trip(self):
+        cgra = CGRA.from_spec(self.SPEC)
+        assert CGRA.from_spec(cgra.to_spec()) == cgra
+
+    def test_homogeneous_round_trip(self):
+        cgra = CGRA.square(4, topology="torus")
+        assert CGRA.from_spec(cgra.to_spec()) == cgra
+
+    def test_flat_assignment_accepted(self):
+        spec = dict(self.SPEC)
+        spec["assignment"] = [name for row in self.SPEC["assignment"] for name in row]
+        assert CGRA.from_spec(spec) == CGRA.from_spec(self.SPEC)
+
+    def test_default_class_fills_assignment(self):
+        spec = {
+            "rows": 2, "cols": 2,
+            "pe_classes": {"everything": {"capabilities": ["alu", "mem", "mul", "div"]}},
+            "default_class": "everything",
+        }
+        cgra = CGRA.from_spec(spec)
+        assert cgra.class_map == ("everything",) * 4
+
+    def test_classes_without_assignment_rejected(self):
+        spec = {"rows": 2, "cols": 2, "pe_classes": {"a": {"capabilities": ["alu"]}}}
+        with pytest.raises(ArchitectureError, match="assignment"):
+            CGRA.from_spec(spec)
+
+    def test_wrong_grid_shape_rejected(self):
+        spec = dict(self.SPEC)
+        spec["assignment"] = [["edge", "edge"], ["edge", "core"]]
+        with pytest.raises(ArchitectureError, match="assignment grid"):
+            CGRA.from_spec(spec)
+
+    def test_from_spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(self.SPEC))
+        assert CGRA.from_spec_file(str(path)) == CGRA.from_spec(self.SPEC)
+
+    def test_bad_json_reported(self, tmp_path):
+        path = tmp_path / "arch.json"
+        path.write_text("{not json")
+        with pytest.raises(ArchitectureError, match="not valid JSON"):
+            CGRA.from_spec_file(str(path))
+
+
+class TestPresets:
+    def test_registry_names(self):
+        assert set(arch_preset_names()) == {"hycube_like", "mem_edge_4x4", "mul_sparse"}
+
+    def test_unknown_preset(self):
+        with pytest.raises(ArchitectureError, match="unknown architecture preset"):
+            get_arch_preset("nope")
+
+    def test_hycube_like_memory_on_left_column(self):
+        cgra = hycube_like()
+        for pe in cgra.pes:
+            assert pe.supports(Opcode.LOAD) == (pe.col == 0)
+            assert pe.supports(Opcode.MUL)
+
+    def test_mem_edge_interior_has_no_memory(self):
+        cgra = mem_edge(4)
+        for pe in cgra.pes:
+            on_edge = pe.row in (0, 3) or pe.col in (0, 3)
+            assert pe.supports(Opcode.STORE) == on_edge
+
+    def test_mem_edge_rejects_degenerate_size(self):
+        with pytest.raises(ArchitectureError):
+            mem_edge(1)
+
+    def test_mul_sparse_checkerboard(self):
+        cgra = mul_sparse(4)
+        for pe in cgra.pes:
+            assert pe.supports(Opcode.MUL) == ((pe.row + pe.col) % 2 == 0)
+            assert pe.supports(Opcode.LOAD)
+
+    def test_presets_round_trip_through_specs(self):
+        for name in arch_preset_names():
+            cgra = get_arch_preset(name)
+            assert CGRA.from_spec(cgra.to_spec()) == cgra
+
+
+class TestKernelFit:
+    def memory_kernel(self):
+        dfg = DFG(name="memkernel")
+        dfg.add_node(0, Opcode.LOAD)
+        dfg.add_node(1, Opcode.ADD)
+        dfg.add_node(2, Opcode.STORE)
+        dfg.add_edge(0, 1)
+        dfg.add_edge(1, 2)
+        return dfg
+
+    def test_histogram(self):
+        histogram = opcode_class_histogram(self.memory_kernel())
+        assert histogram[OpClass.MEM] == 2
+        assert histogram[OpClass.ALU] == 1
+
+    def test_fit_ok_on_capable_fabric(self):
+        check_kernel_fits(self.memory_kernel(), two_class_fabric(mem_pes=(0,)))
+
+    def test_unmappable_histogram_raises_early(self):
+        classes = (PEClass(name="alu", capabilities=frozenset({OpClass.ALU})),)
+        fabric = CGRA(rows=2, cols=2, pe_classes=classes, class_map=("alu",) * 4)
+        with pytest.raises(MappingError, match="cannot fit"):
+            check_kernel_fits(self.memory_kernel(), fabric)
+
+    def test_capability_resource_mii(self):
+        # Two memory nodes but a single memory-capable PE: II >= 2.
+        dfg = self.memory_kernel()
+        fabric = two_class_fabric(mem_pes=(0,))
+        assert capability_resource_mii(dfg, fabric) == 2
+        assert effective_minimum_ii(dfg, fabric) >= 2
+
+    def test_capability_mii_is_one_when_homogeneous(self):
+        assert capability_resource_mii(self.memory_kernel(), CGRA.square(4)) == 1
+
+
+class TestSpecEdgeCases:
+    def test_empty_assignment_does_not_bypass_class_table(self):
+        spec = {"rows": 2, "cols": 2,
+                "pe_classes": {"alu": {"capabilities": ["alu"]}},
+                "assignment": []}
+        with pytest.raises(ArchitectureError, match="assignment"):
+            CGRA.from_spec(spec)
+
+    def test_missing_spec_file_is_a_clean_error(self):
+        with pytest.raises(ArchitectureError, match="cannot read"):
+            CGRA.from_spec_file("/nonexistent/arch.json")
+
+    def test_presets_honour_register_override(self):
+        cgra = get_arch_preset("mem_edge_4x4", registers_per_pe=8)
+        assert all(pe.num_registers == 8 for pe in cgra.pes)

@@ -1,0 +1,99 @@
+"""Property tests for symmetry soundness off the homogeneous mesh.
+
+The symmetry-breaking constraint in the encoder is only sound if every
+permutation in ``CGRA.symmetries`` is a true automorphism of the fabric:
+it must map one-hop neighbours to one-hop neighbours (on every topology,
+including the wrap-around torus and the 8-neighbour diagonal grid) *and*
+map every PE onto a PE of identical capability signature on heterogeneous
+fabrics.  ``symmetry_fundamental_domain`` must additionally stay an orbit
+transversal: exactly one representative per symmetry orbit, so pinning the
+anchor node to the domain never cuts off all the legal mappings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import PEClass
+from repro.cgra.topology import Topology
+from repro.dfg.graph import OpClass
+
+_CLASSES = (
+    PEClass(name="full"),
+    PEClass(name="alu", capabilities=frozenset({OpClass.ALU})),
+    PEClass(name="dsp", capabilities=frozenset({OpClass.ALU, OpClass.MUL}),
+            registers=2),
+)
+
+_CLASS_NAMES = tuple(pe_class.name for pe_class in _CLASSES)
+
+
+@st.composite
+def fabrics(draw):
+    """Random (possibly heterogeneous) fabrics over every topology."""
+    rows = draw(st.integers(1, 4))
+    cols = draw(st.integers(1, 4))
+    topology = draw(st.sampled_from(list(Topology)))
+    heterogeneous = draw(st.booleans())
+    if heterogeneous:
+        class_map = tuple(
+            draw(st.sampled_from(_CLASS_NAMES)) for _ in range(rows * cols)
+        )
+        return CGRA(rows=rows, cols=cols, topology=topology,
+                    pe_classes=_CLASSES, class_map=class_map)
+    return CGRA(rows=rows, cols=cols, topology=topology)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cgra=fabrics())
+def test_symmetries_are_neighbour_preserving_permutations(cgra):
+    for permutation in cgra.symmetries:
+        assert sorted(permutation) == list(range(cgra.num_pes))
+        for a in range(cgra.num_pes):
+            for b in range(cgra.num_pes):
+                assert cgra.are_neighbours(a, b) == cgra.are_neighbours(
+                    permutation[a], permutation[b]
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(cgra=fabrics())
+def test_symmetries_preserve_capability_signatures(cgra):
+    for permutation in cgra.symmetries:
+        for pe in range(cgra.num_pes):
+            image = cgra.pe(permutation[pe])
+            original = cgra.pe(pe)
+            assert image.capabilities == original.capabilities
+            assert image.num_registers == original.num_registers
+
+
+@settings(max_examples=60, deadline=None)
+@given(cgra=fabrics())
+def test_symmetries_form_a_group(cgra):
+    """Closure + identity: orbits then partition the PEs."""
+    permutations = set(cgra.symmetries)
+    identity = tuple(range(cgra.num_pes))
+    assert identity in permutations
+    for p in cgra.symmetries:
+        for q in cgra.symmetries:
+            composed = tuple(p[q[pe]] for pe in range(cgra.num_pes))
+            assert composed in permutations
+
+
+@settings(max_examples=60, deadline=None)
+@given(cgra=fabrics())
+def test_fundamental_domain_is_an_orbit_transversal(cgra):
+    domain = set(cgra.symmetry_fundamental_domain())
+    if cgra.topology is Topology.FULL:
+        # On the crossbar any signature-preserving permutation is an
+        # automorphism; the domain holds one representative per signature.
+        signatures = {cgra._signature(pe) for pe in range(cgra.num_pes)}
+        assert len(domain) == len(signatures)
+        assert {cgra._signature(pe) for pe in domain} == signatures
+        return
+    for pe in range(cgra.num_pes):
+        orbit = {permutation[pe] for permutation in cgra.symmetries}
+        assert len(orbit & domain) == 1, (
+            f"PE {pe} orbit {sorted(orbit)} must meet the domain "
+            f"{sorted(domain)} exactly once"
+        )

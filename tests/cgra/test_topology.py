@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cgra.topology import Topology, manhattan_distance, neighbourhood
+from repro.cgra.topology import (
+    Topology,
+    hop_distance,
+    manhattan_distance,
+    neighbourhood,
+)
 from repro.exceptions import ArchitectureError
 
 
@@ -67,3 +72,42 @@ class TestHelpers:
     def test_manhattan_distance(self):
         assert manhattan_distance((0, 0), (2, 3)) == 5
         assert manhattan_distance((1, 1), (1, 1)) == 0
+
+
+class TestHopDistance:
+    def test_mesh_is_manhattan(self):
+        assert hop_distance((0, 0), (3, 3), 4, 4, Topology.MESH) == 6
+
+    def test_torus_wraps_around(self):
+        # Opposite corners of a 4x4 torus are two wrap hops apart, not six.
+        assert hop_distance((0, 0), (3, 3), 4, 4, Topology.TORUS) == 2
+        assert hop_distance((0, 0), (0, 3), 4, 4, Topology.TORUS) == 1
+        assert hop_distance((0, 0), (2, 2), 4, 4, Topology.TORUS) == 4
+
+    def test_diagonal_is_chebyshev(self):
+        assert hop_distance((0, 0), (3, 3), 4, 4, Topology.DIAGONAL) == 3
+        assert hop_distance((0, 0), (1, 3), 4, 4, Topology.DIAGONAL) == 3
+
+    def test_full_is_at_most_one_hop(self):
+        assert hop_distance((0, 0), (3, 3), 4, 4, Topology.FULL) == 1
+        assert hop_distance((2, 1), (2, 1), 4, 4, Topology.FULL) == 0
+
+    def test_single_hop_matches_neighbourhood(self):
+        """distance == 1 exactly for the (non-self) one-hop neighbours."""
+        for topology in Topology:
+            for rows, cols in ((3, 3), (2, 4)):
+                for row in range(rows):
+                    for col in range(cols):
+                        neighbours = set(
+                            neighbourhood((row, col), rows, cols, topology,
+                                          include_self=False)
+                        )
+                        for other_row in range(rows):
+                            for other_col in range(cols):
+                                other = (other_row, other_col)
+                                if other == (row, col):
+                                    continue
+                                is_one = hop_distance(
+                                    (row, col), other, rows, cols, topology
+                                ) == 1
+                                assert is_one == (other in neighbours)

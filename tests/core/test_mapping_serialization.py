@@ -1,0 +1,95 @@
+"""Tests for Mapping.to_json / from_json round-tripping and replay."""
+
+import json
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.presets import mem_edge_4x4
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.core.mapping import Mapping
+from repro.dfg.graph import DFG, Opcode
+from repro.kernels import get_kernel
+from repro.simulator import CGRASimulator
+
+
+def solved_mapping(kernel="srand", cgra=None):
+    cgra = cgra or CGRA.square(2)
+    outcome = SatMapItMapper(MapperConfig(timeout=60.0)).map(get_kernel(kernel), cgra)
+    assert outcome.success
+    return outcome.mapping
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        mapping = solved_mapping()
+        rebuilt = Mapping.from_json(mapping.to_json())
+        assert rebuilt.ii == mapping.ii
+        assert rebuilt.cgra == mapping.cgra
+        assert rebuilt.registers == mapping.registers
+        assert set(rebuilt.placements) == set(mapping.placements)
+        for node_id, placement in mapping.placements.items():
+            other = rebuilt.placements[node_id]
+            assert (other.pe, other.cycle, other.iteration) == (
+                placement.pe, placement.cycle, placement.iteration
+            )
+        assert rebuilt.is_valid()
+
+    def test_round_trip_preserves_dfg(self):
+        mapping = solved_mapping()
+        rebuilt = Mapping.from_json(mapping.to_json())
+        assert rebuilt.dfg.name == mapping.dfg.name
+        assert rebuilt.dfg.num_nodes == mapping.dfg.num_nodes
+        assert rebuilt.dfg.num_edges == mapping.dfg.num_edges
+        for node in mapping.dfg.nodes:
+            other = rebuilt.dfg.node(node.node_id)
+            assert other.opcode is node.opcode
+            assert other.constant == node.constant
+
+    def test_round_trip_on_heterogeneous_fabric(self):
+        mapping = solved_mapping(cgra=mem_edge_4x4())
+        rebuilt = Mapping.from_json(mapping.to_json())
+        assert not rebuilt.cgra.is_homogeneous
+        assert rebuilt.cgra == mapping.cgra
+        assert rebuilt.is_valid()
+
+    def test_replay_through_simulator_without_resolving(self):
+        """An archived mapping simulates correctly after deserialization."""
+        mapping = solved_mapping()
+        rebuilt = Mapping.from_json(mapping.to_json())
+        result = CGRASimulator(rebuilt).run(num_iterations=3)
+        assert result.success, result.errors
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(solved_mapping().to_json())
+        assert payload["format"] == "satmapit-mapping/1"
+        assert {"ii", "dfg", "cgra", "placements", "registers"} <= set(payload)
+
+    def test_dfg_dict_round_trip(self):
+        dfg = DFG(name="tiny")
+        dfg.add_node(0, Opcode.CONST, constant=7)
+        dfg.add_node(1, Opcode.ADD, name="acc")
+        dfg.add_edge(0, 1, operand_index=1)
+        dfg.add_edge(1, 1, distance=1)
+        rebuilt = DFG.from_dict(dfg.to_dict())
+        assert rebuilt.node(0).constant == 7
+        assert rebuilt.node(1).name == "acc"
+        assert len(rebuilt.back_edges()) == 1
+        assert rebuilt.edges[0].operand_index == 1
+
+
+class TestRegisterCopies:
+    def test_register_copies_round_trip(self):
+        mapping = solved_mapping()
+        rebuilt = Mapping.from_json(mapping.to_json())
+        assert rebuilt.register_copies == mapping.register_copies
+
+    def test_multi_copy_values_replay_exactly(self):
+        """Values live longer than the II need their rotating register copies
+        after deserialization — the virtual-register fallback would read
+        stale data."""
+        from repro.cgra.presets import hycube_like
+
+        mapping = solved_mapping(kernel="nw", cgra=hycube_like())
+        assert any(len(regs) > 1 for regs in mapping.register_copies.values())
+        rebuilt = Mapping.from_json(mapping.to_json())
+        result = CGRASimulator(rebuilt).run(num_iterations=4)
+        assert result.success, result.errors

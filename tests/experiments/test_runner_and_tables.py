@@ -8,12 +8,16 @@ from repro.experiments.report import (
     write_markdown_report,
 )
 from repro.experiments.runner import (
+    HOMOGENEOUS,
+    MEM_EDGE,
+    MUL_SPARSE,
     PATHSEEKER,
     RAMP,
     SAT_MAPIT,
     ExperimentConfig,
     RunRecord,
     SweepResult,
+    build_fabric,
     build_mapper,
     run_single,
     run_sweep,
@@ -26,6 +30,8 @@ from repro.experiments.tables import (
     render_figure6,
     render_headline,
     render_mapping_time_table,
+    render_scenario_comparison,
+    scenario_rows,
 )
 
 FAST_CONFIG = ExperimentConfig(
@@ -169,3 +175,94 @@ class TestReport:
         path = tmp_path / "report.md"
         write_markdown_report(synthetic_sweep(), str(path))
         assert path.read_text().startswith("# EXPERIMENTS")
+
+
+class TestScenarios:
+    def scenario_sweep(self) -> SweepResult:
+        config = ExperimentConfig(
+            kernels=("a",), sizes=(2,), timeout=1.0,
+            scenarios=(HOMOGENEOUS, MEM_EDGE),
+        )
+        sweep = SweepResult(config=config)
+        sweep.records.extend([
+            RunRecord("a", 2, SAT_MAPIT, "mapped", 3, 1.0, 3, 1, 10),
+            RunRecord("a", 2, SAT_MAPIT, "mapped", 4, 1.5, 3, 2, 10,
+                      scenario=MEM_EDGE),
+        ])
+        return sweep
+
+    def test_build_fabric(self):
+        assert build_fabric(HOMOGENEOUS, 3).is_homogeneous
+        het = build_fabric(MEM_EDGE, 3)
+        assert not het.is_homogeneous
+        assert het.name == "mem_edge_3x3"
+        assert not build_fabric(MUL_SPARSE, 4).is_homogeneous
+        with pytest.raises(ValueError, match="unknown architecture scenario"):
+            build_fabric("exotic", 4)
+
+    def test_record_lookup_is_scenario_aware(self):
+        sweep = self.scenario_sweep()
+        homogeneous = sweep.record("a", 2, SAT_MAPIT)
+        heterogeneous = sweep.record("a", 2, SAT_MAPIT, MEM_EDGE)
+        assert homogeneous.ii == 3
+        assert heterogeneous.ii == 4
+
+    def test_scenario_rows_and_penalty(self):
+        rows = scenario_rows(self.scenario_sweep(), 2)
+        assert len(rows) == 1
+        assert rows[0].ii_for(HOMOGENEOUS) == 3
+        assert rows[0].ii_for(MEM_EDGE) == 4
+        assert rows[0].ii_penalty == 1
+
+    def test_render_scenario_comparison(self):
+        text = render_scenario_comparison(self.scenario_sweep(), 2)
+        assert "mem_edge" in text
+        assert "+1" in text
+
+    def test_markdown_report_gets_scenario_section(self):
+        text = render_markdown_report(self.scenario_sweep())
+        assert "Heterogeneous fabrics" in text
+        assert "| a | 3 | 4 | +1 |" in text
+
+    def test_run_single_with_mem_edge_scenario(self):
+        record = run_single("srand", 2, SAT_MAPIT, FAST_CONFIG, scenario=MEM_EDGE)
+        # A 2x2 mem_edge fabric is all boundary, so behaviour matches the
+        # homogeneous run while still exercising the scenario plumbing.
+        assert record.scenario == MEM_EDGE
+        assert record.status == "mapped"
+
+    def test_sweep_iterates_scenarios(self):
+        config = ExperimentConfig(
+            kernels=("srand",), sizes=(2,), timeout=20.0,
+            mappers=(SAT_MAPIT,), pathseeker_repeats=1,
+            scenarios=(HOMOGENEOUS, MEM_EDGE),
+        )
+        sweep = run_sweep(config)
+        assert len(sweep.records) == 2
+        assert {entry.scenario for entry in sweep.records} == {HOMOGENEOUS, MEM_EDGE}
+
+    def test_heterogeneous_only_sweep_still_renders_tables(self):
+        """A sweep run purely on a heterogeneous scenario gets Figure 6 too."""
+        config = ExperimentConfig(kernels=("a",), sizes=(2,), timeout=1.0,
+                                  scenarios=(MEM_EDGE,))
+        sweep = SweepResult(config=config)
+        sweep.records.extend([
+            RunRecord("a", 2, SAT_MAPIT, "mapped", 4, 1.5, 3, 2, 10,
+                      scenario=MEM_EDGE),
+            RunRecord("a", 2, RAMP, "mapped", 5, 0.5, 3, 2, 10,
+                      scenario=MEM_EDGE),
+        ])
+        rows = figure6_rows(sweep, 2)
+        assert len(rows) == 1
+        assert rows[0].satmapit_ii == 4 and rows[0].soa_ii == 5
+        wins, total, _ = headline_winrate(sweep)
+        assert (wins, total) == (1, 1)
+
+    def test_missing_scenario_record_renders_dash(self):
+        config = ExperimentConfig(kernels=("a",), sizes=(2,), timeout=1.0,
+                                  scenarios=(HOMOGENEOUS, MEM_EDGE))
+        sweep = SweepResult(config=config)
+        sweep.records.append(
+            RunRecord("a", 2, SAT_MAPIT, "mapped", 3, 1.0, 3, 1, 10))
+        text = render_scenario_comparison(sweep, 2)
+        assert "x(II cap)" not in text

@@ -108,3 +108,93 @@ class TestCommands:
         assert exit_code == 0
         assert "2 parallel jobs" in captured.out
         assert "Figure 6" in captured.out
+
+
+class TestArchitectureFlags:
+    def test_arch_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["map", "--kernel", "srand", "--arch-preset", "mem_edge_4x4",
+             "--save-mapping", "out.json"]
+        )
+        assert args.arch_preset == "mem_edge_4x4"
+        assert args.save_mapping == "out.json"
+
+    def test_arch_preset_and_spec_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--kernel", "srand", "--arch-preset", "mem_edge_4x4",
+                 "--arch-spec", "arch.json"]
+            )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--kernel", "srand", "--arch-preset", "nope"]
+            )
+
+    def test_sweep_scenarios_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenarios", "homogeneous", "mem_edge"]
+        )
+        assert args.scenarios == ["homogeneous", "mem_edge"]
+
+    def test_map_with_preset_and_save_mapping(self, capsys, tmp_path):
+        out = tmp_path / "mapping.json"
+        exit_code = main([
+            "map", "--kernel", "srand", "--arch-preset", "mem_edge_4x4",
+            "--timeout", "60", "--save-mapping", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "II=" in captured.out
+        assert out.exists()
+
+        from repro.core.mapping import Mapping
+
+        mapping = Mapping.from_json(out.read_text())
+        assert mapping.is_valid()
+        assert not mapping.cgra.is_homogeneous
+
+    def test_map_with_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "rows": 2, "cols": 2, "registers_per_pe": 4,
+            "pe_classes": {"full": {"capabilities": ["alu", "mul", "div", "mem"]}},
+            "default_class": "full",
+        }
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(spec))
+        exit_code = main([
+            "map", "--kernel", "srand", "--arch-spec", str(path), "--timeout", "60",
+        ])
+        assert exit_code == 0
+        assert "II=" in capsys.readouterr().out
+
+    def test_map_reports_unmappable_kernel(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "rows": 2, "cols": 2,
+            "pe_classes": {"alu": {"capabilities": ["alu"]}},
+            "default_class": "alu",
+        }
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(spec))
+        # srand stores to out[i]: no memory-capable PE -> early clear error.
+        exit_code = main([
+            "map", "--kernel", "srand", "--arch-spec", str(path), "--timeout", "60",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot fit" in captured.err
+
+    def test_map_reports_bad_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        exit_code = main([
+            "map", "--kernel", "srand", "--arch-spec", str(path), "--timeout", "60",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
