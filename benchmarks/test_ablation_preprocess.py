@@ -1,0 +1,89 @@
+"""Ablation — SatELite-style CNF preprocessing (DESIGN.md §8).
+
+Times encode+simplify+solve of one mapping instance with the preprocessor on
+and off, checks the two agree on satisfiability, and records the clause and
+variable reduction the pipeline buys on a real encoder formula.  A second
+item runs the full iterative mapper both ways and asserts the achieved II is
+identical (the metamorphic guarantee the test-suite enforces on more
+kernels).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.encoder import EncoderConfig, MappingEncoder
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.kernels import get_kernel
+from repro.sat.preprocess import simplify
+from repro.sat.solver import CDCLSolver
+
+_KERNEL = "basicmath"
+_SIZE = 3
+_II = 3
+
+
+def _encode(kernel: str = _KERNEL, size: int = _SIZE, ii: int = _II):
+    dfg = get_kernel(kernel)
+    cgra = CGRA.square(size)
+    kms = KernelMobilitySchedule.build(MobilitySchedule.build(dfg), ii)
+    return MappingEncoder(dfg, cgra, kms, EncoderConfig()).encode()
+
+
+def _solve(preprocess: bool):
+    encoding = _encode()
+    cnf = encoding.cnf
+    stats = None
+    reconstructor = None
+    if preprocess:
+        cnf, reconstructor, stats = simplify(
+            cnf, frozen=encoding.variables.values()
+        )
+    result = CDCLSolver().solve(cnf, time_limit=60)
+    return encoding, result, stats, reconstructor
+
+
+@pytest.mark.parametrize("preprocess", [False, True], ids=["off", "on"])
+def test_preprocess_single_instance_ablation(benchmark, preprocess):
+    encoding, result, stats, reconstructor = benchmark.pedantic(
+        _solve, args=(preprocess,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["preprocess"] = preprocess
+    benchmark.extra_info["clauses"] = encoding.stats.num_clauses
+    benchmark.extra_info["status"] = result.status
+    assert result.status in ("SAT", "UNSAT")
+    if preprocess:
+        assert stats is not None
+        benchmark.extra_info["clauses_removed"] = stats.clauses_removed
+        benchmark.extra_info["vars_removed"] = stats.variables_removed
+        assert stats.clauses_removed > 0
+        if result.is_sat:
+            model = reconstructor.extend(result.model)
+            assert encoding.cnf.evaluate(model)
+    # Both configurations must agree with the unpreprocessed verdict.
+    _, reference, _, _ = _solve(False)
+    assert result.status == reference.status
+
+
+def test_preprocess_full_mapping_ablation(benchmark, bench_config):
+    def run():
+        outcomes = {}
+        for preprocess in (False, True):
+            mapper = SatMapItMapper(
+                MapperConfig(timeout=bench_config.timeout, preprocess=preprocess)
+            )
+            outcomes[preprocess] = mapper.map(
+                get_kernel(_KERNEL), CGRA.square(_SIZE)
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain, preprocessed = outcomes[False], outcomes[True]
+    assert plain.success and preprocessed.success
+    assert plain.ii == preprocessed.ii
+    benchmark.extra_info["ii"] = plain.ii
+    benchmark.extra_info["clauses_removed"] = preprocessed.pre_clauses_removed
+    benchmark.extra_info["preprocess_time"] = round(preprocessed.preprocess_time, 4)
+    assert preprocessed.pre_clauses_removed > 0

@@ -30,6 +30,7 @@ from repro.experiments.tables import (
     render_figure6,
     render_headline,
     render_mapping_time_table,
+    render_preprocess_table,
     render_scenario_comparison,
 )
 from repro.frontend import compile_loop
@@ -73,6 +74,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             backend=args.backend,
             amo_encoding=AMOEncoding(args.amo_encoding),
+            preprocess=args.preprocess == "on",
             random_seed=args.seed,
         )
     )
@@ -83,6 +85,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(outcome.summary())
+    if args.preprocess == "on":
+        print(
+            f"preprocessing: -{outcome.pre_clauses_removed} clauses, "
+            f"-{outcome.pre_vars_eliminated} vars in "
+            f"{outcome.preprocess_time:.3f}s"
+        )
     if outcome.mapping is not None:
         print()
         print(render_mapping_report(outcome.mapping, outcome.register_allocation))
@@ -103,6 +111,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pathseeker_repeats=args.pathseeker_repeats,
         backend=args.backend,
         amo_encoding=AMOEncoding(args.amo_encoding),
+        preprocess=args.preprocess == "on",
         seed=args.seed,
         scenarios=tuple(args.scenarios),
     )
@@ -124,6 +133,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for size in config.sizes:
             print()
             print(render_scenario_comparison(sweep, size))
+    if config.preprocess:
+        for size in config.sizes:
+            print()
+            print(render_preprocess_table(sweep, size))
     if args.write_report:
         write_markdown_report(sweep, args.write_report)
         print(f"\nreport written to {args.write_report}")
@@ -181,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
                          default=AMOEncoding.SEQUENTIAL.value,
                          help="at-most-one encoding (default: sequential)")
+    map_cmd.add_argument("--preprocess", choices=["on", "off"], default="off",
+                         help="SatELite-style CNF simplification before "
+                              "solving, with model reconstruction "
+                              "(default: off)")
     map_cmd.add_argument("--verbose", action="store_true")
     map_cmd.set_defaults(func=_cmd_map)
 
@@ -200,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
                            default=AMOEncoding.SEQUENTIAL.value,
                            help="at-most-one encoding (default: sequential)")
+    sweep_cmd.add_argument("--preprocess", choices=["on", "off"], default="off",
+                           help="CNF preprocessing for the SAT-MapIt runs; "
+                                "the sweep then prints the preprocessing "
+                                "ablation table (default: off)")
     sweep_cmd.add_argument("--scenarios", nargs="+", choices=list(SCENARIOS),
                            default=["homogeneous"],
                            help="architecture scenarios to sweep "

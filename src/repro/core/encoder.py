@@ -84,6 +84,10 @@ class EncodingStats:
     #: capability for node ``n``'s opcode.  Zero on homogeneous fabrics (the
     #: pruned encoding is then literal-for-literal the classic one).
     num_pruned_placements: int = 0
+    #: Exact duplicate clauses the constraint generators produced and the
+    #: emitter dropped at ingest (e.g. the same implication reached through
+    #: two dependency edges); surfaced originally by ``PreprocessStats``.
+    num_duplicate_clauses: int = 0
 
 
 class _Emitter:
@@ -92,17 +96,22 @@ class _Emitter:
     Wraps anything exposing ``new_var``/``add_clause`` (a :class:`CNF` or a
     live solver backend).  When ``selector`` is given, every emitted clause is
     prefixed with ``¬selector`` so the whole group hangs off one assumption
-    literal.  The counters feed :class:`EncodingStats` uniformly in both
-    modes.
+    literal.  Exact duplicate clauses — the constraint generators can derive
+    the same implication through different edges — are dropped before they
+    reach the sink and counted separately.  The counters feed
+    :class:`EncodingStats` uniformly in both modes.
     """
 
-    __slots__ = ("_sink", "_guard", "num_clauses", "num_vars_created")
+    __slots__ = ("_sink", "_guard", "_seen", "num_clauses", "num_vars_created",
+                 "num_duplicates")
 
     def __init__(self, sink, selector: int | None = None) -> None:
         self._sink = sink
         self._guard = -selector if selector is not None else None
+        self._seen: set[tuple[int, ...]] = set()
         self.num_clauses = 0
         self.num_vars_created = 0
+        self.num_duplicates = 0
 
     def new_var(self) -> int:
         self.num_vars_created += 1
@@ -112,9 +121,15 @@ class _Emitter:
         return [self.new_var() for _ in range(count)]
 
     def add_clause(self, literals) -> None:
+        literals = list(literals)
+        key = tuple(sorted(literals))
+        if key in self._seen:
+            self.num_duplicates += 1
+            return
+        self._seen.add(key)
         self.num_clauses += 1
         if self._guard is None:
-            self._sink.add_clause(list(literals))
+            self._sink.add_clause(literals)
         else:
             # Guard at the tail: the watched literals (the first two) stay
             # the ones the unguarded encoding would watch, so propagation
@@ -209,6 +224,7 @@ class MappingEncoder:
             self._encode_symmetry_breaking()
         self._stats.num_variables = self._emit.num_vars_created
         self._stats.num_clauses = self._emit.num_clauses
+        self._stats.num_duplicate_clauses = self._emit.num_duplicates
         literals_by_node = {
             node_id: [
                 self._variables[(node_id, pe, slot.cycle, slot.iteration)]

@@ -34,6 +34,7 @@ from repro.dfg.graph import DFG
 from repro.exceptions import MappingError
 from repro.sat.backend import SolverBackend, create_backend
 from repro.sat.encodings import AMOEncoding
+from repro.sat.preprocess import Reconstructor, simplify
 from repro.sat.solver import CDCLSolver
 
 
@@ -78,6 +79,11 @@ class MapperConfig:
     #: Solver backend name (see :mod:`repro.sat.backend`); ``"cdcl"`` is the
     #: production engine, ``"dpll"`` the slow reference oracle.
     backend: str = "cdcl"
+    #: Run the SatELite-style preprocessor (see :mod:`repro.sat.preprocess`)
+    #: over every formula before solving.  Selector and placement variables
+    #: are frozen so assumption-based attempt retirement and model decoding
+    #: stay sound; every model is reconstructed before decoding.
+    preprocess: bool = False
     #: Keep one persistent backend per mapping run and drive the iterative
     #: loop through assumption-guarded constraint groups.  ``False`` restores
     #: a fresh solver per (II, slack) attempt (retry rounds within an attempt
@@ -121,6 +127,12 @@ class IIAttempt:
     #: Assumption literal guarding this attempt's constraint group (``None``
     #: in non-incremental mode).
     selector: int | None = None
+    #: Preprocessing yield for this attempt's formula (zero when the
+    #: preprocessor is off): net clause/variable reduction and the wall-clock
+    #: time the pipeline spent earning it.
+    pre_clauses_removed: int = 0
+    pre_vars_eliminated: int = 0
+    preprocess_time: float = 0.0
 
 
 @dataclass
@@ -153,6 +165,21 @@ class MappingOutcome:
     def learned_carried(self) -> int:
         """Learned clauses carried across attempt boundaries (summed)."""
         return sum(attempt.learned_carried_in for attempt in self.attempts)
+
+    @property
+    def pre_clauses_removed(self) -> int:
+        """Clauses the preprocessor removed, summed over attempts."""
+        return sum(attempt.pre_clauses_removed for attempt in self.attempts)
+
+    @property
+    def pre_vars_eliminated(self) -> int:
+        """Variables the preprocessor removed, summed over attempts."""
+        return sum(attempt.pre_vars_eliminated for attempt in self.attempts)
+
+    @property
+    def preprocess_time(self) -> float:
+        """Wall-clock seconds spent inside the preprocessor, summed."""
+        return sum(attempt.preprocess_time for attempt in self.attempts)
 
     @property
     def final_status(self) -> str:
@@ -201,18 +228,21 @@ class SatMapItMapper:
         start = time.perf_counter()
         mii = effective_minimum_ii(dfg, cgra)
         first_ii = max(start_ii or mii, 1)
+        backend_name = config.backend
+        if config.preprocess and not backend_name.endswith("+preprocess"):
+            backend_name = f"{backend_name}+preprocess"
         outcome = MappingOutcome(
             success=False,
             dfg_name=dfg.name,
             cgra_name=cgra.name,
             minimum_ii=mii,
-            backend_name=config.backend,
+            backend_name=backend_name,
         )
         # One persistent backend serves the whole run: learned clauses,
         # activities and phases survive every II bump and slack escalation.
         backend: SolverBackend | None = None
         if config.incremental:
-            backend = create_backend(config.backend, random_seed=config.random_seed)
+            backend = create_backend(backend_name, random_seed=config.random_seed)
 
         for ii in range(first_ii, config.max_ii + 1):
             if self._out_of_time(start):
@@ -270,6 +300,9 @@ class SatMapItMapper:
                 attempt.learned_carried_in = backend.stats.learned_in_db
                 selector = backend.new_var()
                 attempt.selector = selector
+                # The selector is assumed on every solve call and negated at
+                # retirement; a simplifying backend must never touch it.
+                backend.freeze([selector])
                 encoder = MappingEncoder(
                     dfg, cgra, kms, encoder_config, sink=backend, selector=selector
                 )
@@ -277,6 +310,11 @@ class SatMapItMapper:
                 selector = None
                 encoder = MappingEncoder(dfg, cgra, kms, encoder_config)
             encoding = encoder.encode()
+            if backend is not None:
+                # Placement literals are decoded from models and re-appear in
+                # register-allocation blocking clauses and retirement units —
+                # they must survive preprocessing verbatim.
+                backend.freeze(encoding.variables.values())
             attempt.encode_time = time.perf_counter() - encode_start
             attempt.num_variables = encoding.stats.num_variables
             attempt.num_clauses = encoding.stats.num_clauses
@@ -303,6 +341,14 @@ class SatMapItMapper:
             # they add exactly one blocking clause and re-solve.
             fresh_solver: CDCLSolver | None = None
             retry_baseline: int | None = None
+            reconstructor: Reconstructor | None = None
+            pre_stats = getattr(backend, "preprocess_stats", None)
+            pre_base = (
+                (pre_stats.clauses_removed, pre_stats.variables_removed,
+                 pre_stats.preprocess_time)
+                if pre_stats is not None
+                else (0, 0, 0.0)
+            )
             for regalloc_round in range(config.regalloc_retries + 1):
                 attempt.solve_calls += 1
                 if backend is not None:
@@ -311,10 +357,34 @@ class SatMapItMapper:
                         conflict_limit=conflict_limit,
                         time_limit=time_limit,
                     )
+                    if pre_stats is not None:
+                        # The wrapper flushed (and simplified) the pending
+                        # clauses inside solve; attribute the delta here so
+                        # even a successful early return carries the stats.
+                        attempt.pre_clauses_removed = (
+                            pre_stats.clauses_removed - pre_base[0]
+                        )
+                        attempt.pre_vars_eliminated = (
+                            pre_stats.variables_removed - pre_base[1]
+                        )
+                        attempt.preprocess_time = (
+                            pre_stats.preprocess_time - pre_base[2]
+                        )
                 elif fresh_solver is None:
                     fresh_solver = CDCLSolver(random_seed=config.random_seed)
+                    attempt_cnf = encoding.cnf
+                    if config.preprocess:
+                        # One-shot path: simplify the standalone formula with
+                        # the placement literals frozen (decode and blocking
+                        # clauses reference them after simplification).
+                        attempt_cnf, reconstructor, pstats = simplify(
+                            attempt_cnf, frozen=encoding.variables.values()
+                        )
+                        attempt.pre_clauses_removed = pstats.clauses_removed
+                        attempt.pre_vars_eliminated = pstats.variables_removed
+                        attempt.preprocess_time = pstats.preprocess_time
                     result = fresh_solver.solve(
-                        encoding.cnf,
+                        attempt_cnf,
                         conflict_limit=conflict_limit,
                         time_limit=time_limit,
                     )
@@ -347,8 +417,14 @@ class SatMapItMapper:
 
                 attempt.status = "SAT"
                 assert result.model is not None
+                model = result.model
+                if reconstructor is not None:
+                    # Reinstate preprocessor-eliminated variables so the
+                    # model satisfies the original, unsimplified formula.
+                    # (The incremental wrapper reconstructs internally.)
+                    model = reconstructor.extend(model)
                 mapping = self._build_mapping(
-                    dfg, cgra, ii, encoding.decode(result.model)
+                    dfg, cgra, ii, encoding.decode(model)
                 )
                 violations = mapping.violations(
                     check_overwrite=config.enforce_output_register
@@ -388,7 +464,13 @@ class SatMapItMapper:
             if backend is not None:
                 last_var = backend.num_vars
                 backend.add_clause([-selector])
+                retired = backend.retired_vars
                 for dead_var in range(selector + 1, last_var + 1):
+                    # Variables the preprocessor already eliminated are gone
+                    # from the solver (and unit-pinning them would be an
+                    # unsound reference to an eliminated variable).
+                    if dead_var in retired:
+                        continue
                     backend.add_clause([-dead_var])
             # Try the next slack level / II.
         return None

@@ -13,6 +13,11 @@ This package is a self-contained SAT toolkit used by the SAT-MapIt core:
   production mapping runs.
 * :mod:`repro.sat.backend` — the pluggable :class:`SolverBackend` protocol
   plus the ``cdcl``/``dpll`` registry the mapper selects engines from.
+* :mod:`repro.sat.preprocess` — SatELite-style simplification (unit
+  propagation, pure literals, subsumption, self-subsuming resolution,
+  bounded variable elimination) with model reconstruction, available both as
+  a one-shot :func:`simplify` and as the :class:`PreprocessingBackend`
+  registry entries ``cdcl+preprocess`` / ``dpll+preprocess``.
 
 Literals follow the DIMACS convention: variables are positive integers and a
 negative integer denotes the negation of the corresponding variable.
@@ -35,6 +40,14 @@ from repro.sat.encodings import (
     at_most_one,
     exactly_one,
 )
+from repro.sat.preprocess import (
+    PreprocessConfig,
+    PreprocessingBackend,
+    PreprocessStats,
+    Reconstructor,
+    SimplifyResult,
+    simplify,
+)
 from repro.sat.solver import CDCLSolver, SolverResult, SolverStats
 
 __all__ = [
@@ -55,4 +68,10 @@ __all__ = [
     "available_backends",
     "create_backend",
     "register_backend",
+    "PreprocessConfig",
+    "PreprocessingBackend",
+    "PreprocessStats",
+    "Reconstructor",
+    "SimplifyResult",
+    "simplify",
 ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
 from repro.sat.cnf import CNF
@@ -65,6 +65,13 @@ class SolverBackend(Protocol):
     clause set under the given assumption literals.  The variable/clause
     interface is deliberately identical to :class:`repro.sat.cnf.CNF` so the
     mapping encoder can emit straight into a live backend.
+
+    ``freeze`` / ``retired_vars`` exist for engines that *simplify* the
+    formula (``repro.sat.preprocess.PreprocessingBackend``): callers freeze
+    variables they will reference after future solve calls, and
+    ``retired_vars`` names variables the engine has eliminated.  Engines
+    that never rewrite the formula implement them as no-ops, so the mapper
+    can honour the contract without caring which engine it drives.
     """
 
     name: str
@@ -76,6 +83,11 @@ class SolverBackend(Protocol):
     def new_var(self) -> int: ...
 
     def add_clause(self, literals: Sequence[int]) -> None: ...
+
+    def freeze(self, variables: Iterable[int]) -> None: ...
+
+    @property
+    def retired_vars(self) -> frozenset[int]: ...
 
     def solve(
         self,
@@ -105,6 +117,13 @@ class CDCLBackend:
     def add_clause(self, literals: Sequence[int]) -> None:
         self.stats.clauses_added += 1
         self._solver.add_clause(literals)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: this engine never eliminates variables."""
+
+    @property
+    def retired_vars(self) -> frozenset[int]:
+        return frozenset()
 
     def solve(
         self,
@@ -155,6 +174,13 @@ class DPLLBackend:
     def add_clause(self, literals: Sequence[int]) -> None:
         self.stats.clauses_added += 1
         self._cnf.add_clause(literals)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: this engine never eliminates variables."""
+
+    @property
+    def retired_vars(self) -> frozenset[int]:
+        return frozenset()
 
     def solve(
         self,

@@ -23,11 +23,21 @@ class CNF:
     clauses, each clause a tuple of non-zero integer literals.
     """
 
-    def __init__(self, num_vars: int = 0, clauses: Iterable[Sequence[int]] | None = None) -> None:
+    def __init__(
+        self,
+        num_vars: int = 0,
+        clauses: Iterable[Sequence[int]] | None = None,
+        dedup: bool = False,
+    ) -> None:
+        """``dedup=True`` drops exact duplicate clauses at ingest (the count
+        is kept in :attr:`num_duplicates_dropped`); mechanically generated
+        formulas routinely contain them and they only slow propagation."""
         if num_vars < 0:
             raise ValueError(f"num_vars must be non-negative, got {num_vars}")
         self._num_vars = num_vars
         self._clauses: list[Clause] = []
+        self._seen: set[Clause] | None = set() if dedup else None
+        self._duplicates_dropped = 0
         if clauses is not None:
             for clause in clauses:
                 self.add_clause(clause)
@@ -49,6 +59,11 @@ class CNF:
     def clauses(self) -> list[Clause]:
         """The clause list (shared reference, do not mutate)."""
         return self._clauses
+
+    @property
+    def num_duplicates_dropped(self) -> int:
+        """Exact duplicate clauses dropped at ingest (``dedup=True`` only)."""
+        return self._duplicates_dropped
 
     def new_var(self) -> int:
         """Allocate and return a fresh variable."""
@@ -92,8 +107,15 @@ class CNF:
                 continue
             seen.add(lit)
             out.append(lit)
-        if not tautology:
-            self._clauses.append(tuple(out))
+        if tautology:
+            return
+        if self._seen is not None:
+            key = tuple(sorted(out))
+            if key in self._seen:
+                self._duplicates_dropped += 1
+                return
+            self._seen.add(key)
+        self._clauses.append(tuple(out))
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
         """Add several clauses."""
@@ -104,9 +126,15 @@ class CNF:
         """Append all clauses of ``other`` (variables are shared, not renamed)."""
         self.ensure_var(max(other.num_vars, 1)) if other.num_vars else None
         for clause in other.clauses:
-            self._clauses.append(clause)
             for lit in clause:
                 self.ensure_var(abs(lit))
+            if self._seen is not None:
+                key = tuple(sorted(clause))
+                if key in self._seen:
+                    self._duplicates_dropped += 1
+                    continue
+                self._seen.add(key)
+            self._clauses.append(clause)
 
     def __iter__(self) -> Iterator[Clause]:
         return iter(self._clauses)

@@ -1,0 +1,742 @@
+"""SatELite-style CNF preprocessing with model reconstruction.
+
+The mapper's formulas are produced mechanically by the encoder, and like all
+mechanically generated CNF they carry redundancy a solver pays for on every
+propagation: duplicate and subsumed clauses, literals removable by
+self-subsuming resolution, auxiliary variables whose elimination shrinks the
+formula.  This module implements the classic SatELite preprocessing pipeline
+(Eén & Biere 2005) on top of occurrence lists:
+
+* **root-level unit propagation** to fixpoint,
+* **pure-literal elimination**,
+* **subsumption** and **self-subsuming resolution** (strengthening), and
+* **bounded variable elimination** (BVE, the NiVER/SatELite rule: resolve a
+  variable away when the non-tautological resolvents do not outnumber the
+  clauses they replace).
+
+Pure-literal elimination and BVE only preserve *equisatisfiability*, so every
+such step pushes an entry onto a :class:`Reconstructor` stack; replaying the
+stack over a model of the simplified formula reinstates the eliminated
+variables, producing a model of the **original** formula (the differential
+test-suite asserts this on hundreds of random instances).
+
+Two entry points are exposed:
+
+* :func:`simplify` — one-shot batch simplification for standalone solves,
+  returning ``(CNF, Reconstructor, PreprocessStats)``;
+* :class:`PreprocessingBackend` — a :class:`repro.sat.backend.SolverBackend`
+  wrapper that simplifies every batch of pending clauses before pushing it
+  into the wrapped (incremental) backend, and reconstructs every SAT model.
+
+**Frozen variables.**  Callers that will reference a variable *after*
+simplification — as a solve assumption (the mapper's attempt selectors), in a
+later clause (blocking clauses over placement literals), or when decoding a
+model structurally — must :meth:`~PreprocessingBackend.freeze` it (or pass it
+in ``frozen=``).  Frozen variables are never eliminated, and a root-level
+unit on a frozen variable is kept in the simplified formula verbatim, so the
+simplified formula is *equivalent* (not merely equisatisfiable) to the
+original over the frozen variables.  The :class:`PreprocessingBackend`
+additionally auto-freezes every assumption literal it sees and every
+variable that already reached the wrapped backend in an earlier batch;
+adding a clause that references an already-eliminated variable raises
+:class:`repro.exceptions.PreprocessError` rather than silently corrupting
+the formula.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from collections.abc import Iterable, Sequence
+from typing import NamedTuple
+
+from repro.exceptions import PreprocessError
+from repro.sat.backend import (
+    BackendStats,
+    SolverBackend,
+    create_backend,
+    register_backend,
+)
+from repro.sat.cnf import CNF
+from repro.sat.solver import SolverResult
+
+
+# ----------------------------------------------------------------------
+# Configuration and statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Knobs of the simplification pipeline.
+
+    The defaults run the full SatELite pipeline; individual techniques can be
+    switched off (the property-based test-suite isolates them this way).
+    """
+
+    unit_propagation: bool = True
+    pure_literals: bool = True
+    subsumption: bool = True
+    #: Self-subsuming resolution (clause strengthening); requires
+    #: ``subsumption`` since it runs inside the same occurrence sweep.
+    self_subsumption: bool = True
+    #: Bounded variable elimination.
+    variable_elimination: bool = True
+    #: A variable is only considered for elimination while it occurs in at
+    #: most this many clauses (SatELite's cheap-first heuristic; keeps the
+    #: resolvent enumeration quadratic only in a small constant).
+    bve_occurrence_limit: int = 16
+    #: How many clauses elimination may *add* net (0 = classic NiVER rule:
+    #: the resolvents must not outnumber the clauses they replace).
+    bve_clause_growth: int = 0
+    #: Pipeline rounds: the techniques enable each other (a strengthened
+    #: clause may become a unit, an elimination may expose a subsumption), so
+    #: the pipeline loops until a fixpoint or this many rounds.
+    max_rounds: int = 12
+
+
+@dataclass
+class PreprocessStats:
+    """Counters describing one simplification (cumulative for a backend)."""
+
+    original_variables: int = 0
+    original_clauses: int = 0
+    simplified_variables: int = 0
+    simplified_clauses: int = 0
+    #: Exact duplicates dropped at ingest (the encoder-path redundancy this
+    #: layer surfaced; see ``EncodingStats.num_duplicate_clauses``).
+    duplicate_clauses: int = 0
+    #: Tautologies dropped at ingest.
+    tautologies: int = 0
+    #: Clauses removed because a root-level unit satisfies them.
+    root_satisfied_clauses: int = 0
+    units_fixed: int = 0
+    pure_literals: int = 0
+    subsumed_clauses: int = 0
+    #: Literals removed by self-subsuming resolution.
+    strengthened_clauses: int = 0
+    eliminated_variables: int = 0
+    rounds: int = 0
+    preprocess_time: float = 0.0
+
+    @property
+    def clauses_removed(self) -> int:
+        """Net clause-count reduction achieved by the pipeline."""
+        return max(0, self.original_clauses - self.simplified_clauses)
+
+    @property
+    def variables_removed(self) -> int:
+        """Variables fixed or eliminated (absent from the simplified CNF)."""
+        return max(0, self.original_variables - self.simplified_variables)
+
+    def merge(self, other: "PreprocessStats") -> None:
+        """Accumulate ``other`` into this instance (backend flushes)."""
+        for entry in fields(self):
+            setattr(self, entry.name,
+                    getattr(self, entry.name) + getattr(other, entry.name))
+
+
+# ----------------------------------------------------------------------
+# Model reconstruction
+# ----------------------------------------------------------------------
+class Reconstructor:
+    """Replayable record of the equisatisfiable-only simplification steps.
+
+    Entries are pushed in elimination order and replayed in reverse: a
+    variable eliminated late may appear in the clauses stored for a variable
+    eliminated early, so its value must be reinstated first.
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self._stack: list[tuple] = []
+        self._num_vars = num_vars
+        self._retired: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def retired_vars(self) -> frozenset[int]:
+        """Variables no longer present downstream (fixed or eliminated).
+
+        Referencing one of these in a clause added *after* simplification is
+        unsound; :class:`PreprocessingBackend` rejects such clauses.
+        """
+        return frozenset(self._retired)
+
+    def is_retired(self, var: int) -> bool:
+        """Membership test against the live retired set (no copy)."""
+        return var in self._retired
+
+    def grow(self, num_vars: int) -> None:
+        """Raise the variable universe models are completed over."""
+        self._num_vars = max(self._num_vars, num_vars)
+
+    def record_fixed(self, lit: int, retired: bool = True) -> None:
+        """Record a root-fixed literal (unit propagation or pure literal)."""
+        self._stack.append(("fixed", lit))
+        if retired:
+            self._retired.add(abs(lit))
+
+    def record_elimination(self, var: int, clauses: Sequence[tuple[int, ...]]) -> None:
+        """Record a BVE step: ``var`` plus every clause it occurred in."""
+        self._stack.append(("elim", var, tuple(clauses)))
+        self._retired.add(var)
+
+    def extend(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Turn a model of the simplified formula into one of the original.
+
+        Replays the stack in reverse.  For a BVE entry the variable is set
+        true exactly when some stored clause containing it positively is not
+        satisfied by the other literals — the removed negative-occurrence
+        clauses are then satisfiable too, because every resolvent is in the
+        simplified formula and therefore satisfied by ``model``.
+        """
+        full = dict(model)
+        for entry in reversed(self._stack):
+            if entry[0] == "fixed":
+                lit = entry[1]
+                full[abs(lit)] = lit > 0
+                continue
+            var, clauses = entry[1], entry[2]
+            value = False
+            for clause in clauses:
+                positive = False
+                satisfied = False
+                for lit in clause:
+                    if lit == var:
+                        positive = True
+                        continue
+                    if lit == -var:
+                        continue
+                    if full.get(abs(lit), False) == (lit > 0):
+                        satisfied = True
+                        break
+                if positive and not satisfied:
+                    value = True
+                    break
+            full[var] = value
+        for var in range(1, self._num_vars + 1):
+            full.setdefault(var, False)
+        return full
+
+
+# ----------------------------------------------------------------------
+# The occurrence-list simplifier
+# ----------------------------------------------------------------------
+class _Simplifier:
+    """One batch of SatELite-style simplification over occurrence lists.
+
+    Clauses live in a stable-index list (``None`` marks removal); ``occur``
+    maps every literal to the indices of the live clauses containing it, and
+    ``_keys`` keeps each live clause's canonical form so exact duplicates —
+    whether ingested or produced later by strengthening/resolution — are
+    detected in O(1).
+    """
+
+    def __init__(
+        self,
+        num_vars: int,
+        frozen: Iterable[int] = (),
+        config: PreprocessConfig | None = None,
+        reconstructor: Reconstructor | None = None,
+    ) -> None:
+        self.config = config or PreprocessConfig()
+        self.num_vars = num_vars
+        self.frozen = {abs(v) for v in frozen}
+        self.recon = reconstructor if reconstructor is not None else Reconstructor()
+        self.recon.grow(num_vars)
+        self.stats = PreprocessStats(original_variables=num_vars)
+        self.conflict = False
+        self._clauses: list[list[int] | None] = []
+        self._keys: list[tuple[int, ...] | None] = []
+        self._key_set: set[tuple[int, ...]] = set()
+        self._occur: dict[int, set[int]] = {}
+        self._fixed: dict[int, bool] = {}
+        self._units: list[int] = []
+
+    # -- ingest ---------------------------------------------------------
+    def ingest(self, clauses: Iterable[Sequence[int]]) -> None:
+        for raw in clauses:
+            self.stats.original_clauses += 1
+            seen: set[int] = set()
+            lits: list[int] = []
+            tautology = False
+            for lit in raw:
+                if lit == 0:
+                    raise ValueError("literal 0 is not allowed in a clause")
+                self.num_vars = max(self.num_vars, abs(lit))
+                if -lit in seen:
+                    tautology = True
+                if lit not in seen:
+                    seen.add(lit)
+                    lits.append(lit)
+            if tautology:
+                self.stats.tautologies += 1
+                continue
+            self._add(lits, duplicate_counts=True)
+        self.recon.grow(self.num_vars)
+        self.stats.original_variables = len(
+            {abs(lit) for clause in self._clauses if clause is not None for lit in clause}
+            | {abs(lit) for lit in self._units}
+            | set(self._fixed)
+        )
+
+    def _add(self, lits: list[int], duplicate_counts: bool = False) -> None:
+        if self.conflict:
+            return
+        if not lits:
+            self.conflict = True
+            return
+        key = tuple(sorted(lits))
+        if key in self._key_set:
+            if duplicate_counts:
+                self.stats.duplicate_clauses += 1
+            return
+        index = len(self._clauses)
+        self._clauses.append(lits)
+        self._keys.append(key)
+        self._key_set.add(key)
+        for lit in lits:
+            self._occur.setdefault(lit, set()).add(index)
+        if len(lits) == 1:
+            self._units.append(lits[0])
+
+    # -- clause surgery -------------------------------------------------
+    def _remove_clause(self, index: int) -> None:
+        clause = self._clauses[index]
+        if clause is None:
+            return
+        for lit in clause:
+            self._occur[lit].discard(index)
+        self._key_set.discard(self._keys[index])
+        self._clauses[index] = None
+        self._keys[index] = None
+
+    def _strip_literal(self, index: int, lit: int) -> None:
+        """Remove ``lit`` from clause ``index`` (falsified or strengthened)."""
+        clause = self._clauses[index]
+        if clause is None or lit not in clause:
+            return
+        clause.remove(lit)
+        self._occur[lit].discard(index)
+        self._key_set.discard(self._keys[index])
+        if not clause:
+            self.conflict = True
+            return
+        key = tuple(sorted(clause))
+        if key in self._key_set:
+            # Strengthening made this an exact duplicate of a live clause.
+            self.stats.subsumed_clauses += 1
+            for other in clause:
+                self._occur[other].discard(index)
+            self._clauses[index] = None
+            self._keys[index] = None
+            return
+        self._keys[index] = key
+        self._key_set.add(key)
+        if len(clause) == 1:
+            self._units.append(clause[0])
+
+    # -- pipeline passes ------------------------------------------------
+    def propagate_units(self) -> bool:
+        changed = False
+        while self._units and not self.conflict:
+            lit = self._units.pop()
+            var, value = abs(lit), lit > 0
+            current = self._fixed.get(var)
+            if current is not None:
+                if current != value:
+                    self.conflict = True
+                continue
+            self._fixed[var] = value
+            self.stats.units_fixed += 1
+            # Units on frozen variables are re-emitted verbatim by
+            # ``output`` (the formula stays equivalent over frozen vars),
+            # so the variable is still referencable downstream.
+            self.recon.record_fixed(lit, retired=var not in self.frozen)
+            changed = True
+            for index in list(self._occur.get(lit, ())):
+                clause = self._clauses[index]
+                # The propagated unit clause itself is consumed, not
+                # "root-satisfied redundancy"; count only longer clauses.
+                if clause is not None and len(clause) > 1:
+                    self.stats.root_satisfied_clauses += 1
+                self._remove_clause(index)
+            for index in list(self._occur.get(-lit, ())):
+                self._strip_literal(index, -lit)
+                if self.conflict:
+                    break
+        return changed
+
+    def _candidate_vars(self) -> list[int]:
+        """Variables with live occurrences, ascending.
+
+        Scanning these instead of the whole variable universe keeps the
+        pure-literal and elimination passes O(batch) — the incremental
+        wrapper simplifies small batches against a backend whose lifetime
+        variable count keeps growing.
+        """
+        return sorted({abs(lit) for lit, indices in self._occur.items() if indices})
+
+    def eliminate_pure_literals(self) -> bool:
+        changed = False
+        progress = True
+        while progress and not self.conflict:
+            progress = False
+            for var in self._candidate_vars():
+                if var in self._fixed or var in self.frozen:
+                    continue
+                npos = len(self._occur.get(var, ()))
+                nneg = len(self._occur.get(-var, ()))
+                if npos == 0 and nneg == 0:
+                    continue
+                if nneg == 0:
+                    lit = var
+                elif npos == 0:
+                    lit = -var
+                else:
+                    continue
+                self._fixed[var] = lit > 0
+                self.recon.record_fixed(lit)
+                self.stats.pure_literals += 1
+                for index in list(self._occur.get(lit, ())):
+                    self._remove_clause(index)
+                progress = changed = True
+        return changed
+
+    def subsume(self) -> bool:
+        changed = False
+        order = sorted(
+            (i for i, clause in enumerate(self._clauses) if clause is not None),
+            key=lambda i: len(self._clauses[i]),  # type: ignore[arg-type]
+        )
+        for index in order:
+            clause = self._clauses[index]
+            if clause is None:
+                continue
+            literal_set = set(clause)
+            # Candidate supersets all contain the least-occurring literal.
+            best = min(clause, key=lambda lit: len(self._occur.get(lit, ())))
+            for other_index in list(self._occur.get(best, ())):
+                if other_index == index:
+                    continue
+                other = self._clauses[other_index]
+                if other is None or len(other) < len(clause):
+                    continue
+                if literal_set.issubset(other):
+                    self._remove_clause(other_index)
+                    self.stats.subsumed_clauses += 1
+                    changed = True
+            if not self.config.self_subsumption:
+                continue
+            # Self-subsuming resolution: if this clause with one literal
+            # flipped is a subset of another clause, the flipped literal can
+            # be resolved out of the other clause.
+            for lit in list(clause):
+                if self._clauses[index] is None or self.conflict:
+                    break
+                rest = literal_set - {lit}
+                for other_index in list(self._occur.get(-lit, ())):
+                    other = self._clauses[other_index]
+                    if other is None or len(other) < len(clause):
+                        continue
+                    if rest.issubset(other):
+                        self._strip_literal(other_index, -lit)
+                        self.stats.strengthened_clauses += 1
+                        changed = True
+                        if self.conflict:
+                            return changed
+        return changed
+
+    def eliminate_variables(self) -> bool:
+        changed = False
+        for var in self._candidate_vars():
+            if self.conflict:
+                break
+            if var in self._fixed or var in self.frozen:
+                continue
+            positive = list(self._occur.get(var, ()))
+            negative = list(self._occur.get(-var, ()))
+            if not positive or not negative:
+                continue  # the pure-literal pass owns one-sided variables
+            if len(positive) + len(negative) > self.config.bve_occurrence_limit:
+                continue
+            budget = len(positive) + len(negative) + self.config.bve_clause_growth
+            resolvents: list[list[int]] = []
+            within_budget = True
+            for pos_index in positive:
+                pos_clause = self._clauses[pos_index]
+                for neg_index in negative:
+                    resolvent = _resolve(
+                        pos_clause, self._clauses[neg_index], var  # type: ignore[arg-type]
+                    )
+                    if resolvent is None:
+                        continue
+                    resolvents.append(resolvent)
+                    if len(resolvents) > budget:
+                        within_budget = False
+                        break
+                if not within_budget:
+                    break
+            if not within_budget:
+                continue
+            stored = [tuple(self._clauses[i]) for i in positive + negative]  # type: ignore[arg-type]
+            self.recon.record_elimination(var, stored)
+            for index in positive + negative:
+                self._remove_clause(index)
+            for resolvent in resolvents:
+                self._add(resolvent)
+            self.stats.eliminated_variables += 1
+            changed = True
+        return changed
+
+    # -- driver ---------------------------------------------------------
+    def run(self) -> None:
+        start = time.perf_counter()
+        config = self.config
+        changed = True
+        while changed and not self.conflict and self.stats.rounds < config.max_rounds:
+            self.stats.rounds += 1
+            changed = False
+            if config.unit_propagation:
+                changed |= self.propagate_units()
+                if self.conflict:
+                    break
+            if config.pure_literals:
+                changed |= self.eliminate_pure_literals()
+            if config.subsumption:
+                changed |= self.subsume()
+                if self.conflict:
+                    break
+                if config.unit_propagation:
+                    changed |= self.propagate_units()
+                    if self.conflict:
+                        break
+            if config.variable_elimination:
+                changed |= self.eliminate_variables()
+                if config.unit_propagation:
+                    changed |= self.propagate_units()
+        self.stats.preprocess_time += time.perf_counter() - start
+
+    def live_clauses(self) -> list[list[int]]:
+        """The simplified clause set, frozen root units included."""
+        out: list[list[int]] = []
+        if self.conflict:
+            return [[]]
+        for var in sorted(self._fixed):
+            if var in self.frozen:
+                out.append([var if self._fixed[var] else -var])
+        for clause in self._clauses:
+            if clause is not None:
+                out.append(list(clause))
+        return out
+
+    def finalize_stats(self) -> PreprocessStats:
+        live = self.live_clauses()
+        self.stats.simplified_clauses = len(live)
+        self.stats.simplified_variables = len(
+            {abs(lit) for clause in live for lit in clause}
+        )
+        return self.stats
+
+
+def _resolve(
+    pos_clause: list[int], neg_clause: list[int], var: int
+) -> list[int] | None:
+    """Resolvent of two clauses on ``var``; ``None`` when tautological."""
+    merged = {lit for lit in pos_clause if lit != var}
+    for lit in neg_clause:
+        if lit == -var:
+            continue
+        if -lit in merged:
+            return None
+        merged.add(lit)
+    return sorted(merged)
+
+
+# ----------------------------------------------------------------------
+# One-shot batch interface
+# ----------------------------------------------------------------------
+class SimplifyResult(NamedTuple):
+    """Result of :func:`simplify` (unpacks as ``cnf, reconstructor, stats``)."""
+
+    cnf: CNF
+    reconstructor: Reconstructor
+    stats: PreprocessStats
+
+
+def simplify(
+    cnf: CNF,
+    frozen: Iterable[int] = (),
+    config: PreprocessConfig | None = None,
+) -> SimplifyResult:
+    """Simplify ``cnf``, preserving satisfiability and model reconstruction.
+
+    The returned formula keeps the original variable numbering (eliminated
+    variables are simply absent from its clauses) and is equivalent to the
+    input over the ``frozen`` variables, so it can be solved under
+    assumptions on frozen literals.  Models of the simplified formula are
+    turned into models of the original with ``reconstructor.extend(model)``.
+    """
+    simplifier = _Simplifier(cnf.num_vars, frozen=frozen, config=config)
+    simplifier.ingest(cnf.clauses)
+    simplifier.run()
+    out = CNF(num_vars=cnf.num_vars)
+    for clause in simplifier.live_clauses():
+        out.add_clause(clause)
+    stats = simplifier.finalize_stats()
+    return SimplifyResult(out, simplifier.recon, stats)
+
+
+# ----------------------------------------------------------------------
+# Incremental backend wrapper
+# ----------------------------------------------------------------------
+class PreprocessingBackend:
+    """A :class:`SolverBackend` that simplifies clauses before solving.
+
+    Clauses accumulate in a pending buffer; each ``solve`` call runs the
+    SatELite pipeline over the buffer and pushes only the simplified clauses
+    into the wrapped backend.  Soundness of batch-local simplification:
+
+    * equivalence-preserving steps (dedup, subsumption, strengthening) are
+      sound regardless of what other clauses exist;
+    * equisatisfiable-only steps (pure literals, BVE) are restricted to
+      variables that occur in **no other batch** — variables already pushed
+      downstream are auto-frozen, and adding a *later* clause over an
+      eliminated variable raises :class:`PreprocessError` (callers freeze
+      the variables they intend to reference again).
+
+    Every SAT model is passed through the shared :class:`Reconstructor`, so
+    callers always see models of the original, unsimplified formula.
+    """
+
+    def __init__(
+        self,
+        inner: SolverBackend,
+        config: PreprocessConfig | None = None,
+        frozen: Iterable[int] = (),
+    ) -> None:
+        self._inner = inner
+        self._config = config or PreprocessConfig()
+        self.name = f"{inner.name}+preprocess"
+        self.stats = BackendStats()
+        self.preprocess_stats = PreprocessStats()
+        self._reconstructor = Reconstructor(num_vars=inner.num_vars)
+        self._frozen: set[int] = {abs(v) for v in frozen}
+        self._seen: set[int] = set()
+        self._pending: list[list[int]] = []
+
+    # -- SolverBackend surface ------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._inner.num_vars
+
+    def new_var(self) -> int:
+        self.stats.variables_added += 1
+        var = self._inner.new_var()
+        self._reconstructor.grow(var)
+        return var
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        clause = list(literals)
+        for lit in clause:
+            if self._reconstructor.is_retired(abs(lit)):
+                raise PreprocessError(
+                    f"clause {clause} references variable {abs(lit)}, which "
+                    "preprocessing already eliminated; freeze variables that "
+                    "later clauses or assumptions will mention"
+                )
+        self.stats.clauses_added += 1
+        self._pending.append(clause)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolverResult:
+        self.freeze(abs(lit) for lit in assumptions)
+        self._flush()
+        result = self._inner.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            time_limit=time_limit,
+        )
+        call = result.stats
+        self.stats.solve_calls += 1
+        self.stats.conflicts += call.conflicts
+        self.stats.decisions += call.decisions
+        self.stats.propagations += call.propagations
+        self.stats.learned_clauses += call.learned_clauses
+        self.stats.solve_time += call.solve_time
+        self.stats.learned_in_db = self._inner.stats.learned_in_db
+        if result.model is not None:
+            return SolverResult(
+                result.status, self._reconstructor.extend(result.model), call
+            )
+        return result
+
+    # -- frozen-variable API --------------------------------------------
+    def freeze(self, variables: Iterable[int]) -> None:
+        """Protect ``variables`` from elimination in this and later batches.
+
+        Freezing must happen before the batch that constrains the variable is
+        flushed; freezing an already-eliminated variable raises
+        :class:`PreprocessError`.
+        """
+        for var in variables:
+            var = abs(var)
+            if self._reconstructor.is_retired(var):
+                raise PreprocessError(
+                    f"variable {var} was already eliminated and cannot be frozen"
+                )
+            self._frozen.add(var)
+
+    @property
+    def frozen_vars(self) -> frozenset[int]:
+        return frozenset(self._frozen)
+
+    @property
+    def retired_vars(self) -> frozenset[int]:
+        """Variables preprocessing removed; unusable in future clauses."""
+        return self._reconstructor.retired_vars
+
+    @property
+    def reconstructor(self) -> Reconstructor:
+        return self._reconstructor
+
+    # -- internals ------------------------------------------------------
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        # Variables the wrapped backend already has clauses over cannot be
+        # eliminated batch-locally: treat them exactly like frozen ones
+        # (derived units on them are pushed downstream, keeping equivalence).
+        simplifier = _Simplifier(
+            self.num_vars,
+            frozen=self._frozen | self._seen,
+            config=self._config,
+            reconstructor=self._reconstructor,
+        )
+        simplifier.ingest(pending)
+        simplifier.run()
+        for clause in simplifier.live_clauses():
+            self._inner.add_clause(clause)
+        self.preprocess_stats.merge(simplifier.finalize_stats())
+        for clause in pending:
+            for lit in clause:
+                if not self._reconstructor.is_retired(abs(lit)):
+                    self._seen.add(abs(lit))
+
+
+def _register_preprocessing_backends() -> None:
+    """Expose ``<engine>+preprocess`` names in the backend registry."""
+    for inner_name in ("cdcl", "dpll"):
+
+        def factory(inner_name: str = inner_name, **kwargs) -> PreprocessingBackend:
+            return PreprocessingBackend(create_backend(inner_name, **kwargs))
+
+        register_backend(f"{inner_name}+preprocess", factory)
+
+
+_register_preprocessing_backends()

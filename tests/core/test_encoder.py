@@ -49,6 +49,21 @@ class TestEncodingShape:
         assert stats.num_c3_clauses > 0
         assert stats.num_clauses == len(encoding.cnf.clauses)
 
+    def test_emitter_deduplicates_constraint_clauses(self):
+        """The sink never receives the same clause twice (any config)."""
+        from repro.kernels import get_kernel
+
+        for config in (EncoderConfig(), EncoderConfig(enforce_output_register=True)):
+            dfg = get_kernel("gsm")
+            cgra = CGRA.square(3)
+            kms = KernelMobilitySchedule.build(MobilitySchedule.build(dfg), 4)
+            encoding = MappingEncoder(dfg, cgra, kms, config).encode()
+            keys = [tuple(sorted(clause)) for clause in encoding.cnf.clauses]
+            assert len(keys) == len(set(keys))
+        # The generators do produce duplicates on this kernel; the emitter
+        # must have counted (and dropped) them.
+        assert encoding.stats.num_duplicate_clauses > 0
+
     def test_literals_by_node_cover_all_nodes(self):
         dfg = paper_running_example()
         encoding = encode(dfg, CGRA.square(2), ii=3)

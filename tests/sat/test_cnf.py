@@ -89,6 +89,30 @@ class TestConstruction:
         cnf = CNF(clauses=[[1, 2]])
         assert "num_vars=2" in repr(cnf)
 
+    def test_dedup_drops_exact_duplicates_at_ingest(self):
+        cnf = CNF(dedup=True)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([2, 1])  # same clause, different literal order
+        cnf.add_clause([1, 2, 3])
+        cnf.add_clause([1, 2])
+        assert cnf.num_clauses == 2
+        assert cnf.num_duplicates_dropped == 2
+
+    def test_dedup_off_by_default(self):
+        cnf = CNF(clauses=[[1, 2], [2, 1]])
+        assert cnf.num_clauses == 2
+        assert cnf.num_duplicates_dropped == 0
+
+    def test_dedup_applies_to_extend(self):
+        cnf = CNF(dedup=True, clauses=[[1, 2]])
+        cnf.extend(CNF(clauses=[[2, 1], [3]]))
+        assert cnf.num_clauses == 2
+        assert cnf.num_duplicates_dropped == 1
+        # And clauses brought in via extend participate in later dedup.
+        cnf.add_clause([3])
+        assert cnf.num_clauses == 2
+        assert cnf.num_duplicates_dropped == 2
+
 
 class TestEvaluation:
     def test_evaluate_true(self):

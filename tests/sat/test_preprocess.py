@@ -1,0 +1,234 @@
+"""Unit tests for the SatELite-style preprocessing pipeline."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.encoder import EncoderConfig, MappingEncoder
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.exceptions import PreprocessError
+from repro.kernels import get_kernel
+from repro.sat.backend import CDCLBackend, available_backends, create_backend
+from repro.sat.cnf import CNF
+from repro.sat.preprocess import (
+    PreprocessConfig,
+    PreprocessingBackend,
+    Reconstructor,
+    simplify,
+)
+from repro.sat.solver import CDCLSolver
+
+
+def _cnf(num_vars, clauses):
+    return CNF(num_vars=num_vars, clauses=clauses)
+
+
+class TestUnitPropagation:
+    def test_units_propagate_to_fixpoint(self):
+        # 1 forces 2, 2 forces 3; all three disappear from the formula.
+        cnf = _cnf(4, [[1], [-1, 2], [-2, 3], [3, 4], [-3, 4, -4]])
+        simplified, recon, stats = simplify(cnf)
+        assert stats.units_fixed == 3
+        assert simplified.num_clauses == 0  # everything satisfied at root
+        model = recon.extend({})
+        assert model[1] and model[2] and model[3]
+        assert cnf.evaluate(model)
+
+    def test_conflicting_units_yield_empty_clause(self):
+        cnf = _cnf(2, [[1], [-1]])
+        simplified, _recon, _stats = simplify(cnf)
+        assert () in simplified.clauses
+        assert CDCLSolver().solve(simplified).is_unsat
+
+    def test_frozen_unit_kept_verbatim(self):
+        cnf = _cnf(3, [[2], [-2, 3]])
+        simplified, _recon, _stats = simplify(cnf, frozen=[2])
+        assert (2,) in simplified.clauses
+        # Equivalence over frozen vars: assuming ¬2 must now be UNSAT.
+        assert CDCLSolver().solve(simplified, assumptions=[-2]).is_unsat
+
+
+class TestPureLiterals:
+    def test_pure_literal_removed_and_reconstructed(self):
+        # 4 occurs only positively (1 and 2 occur in both polarities, so
+        # only 4 is pure); its clauses vanish.
+        cnf = _cnf(4, [[4, 1], [4, 2], [1, -2], [-1, 2]])
+        simplified, recon, stats = simplify(
+            cnf, config=PreprocessConfig(variable_elimination=False)
+        )
+        assert stats.pure_literals >= 1
+        assert all(4 not in clause and -4 not in clause for clause in simplified.clauses)
+        result = CDCLSolver().solve(simplified)
+        model = recon.extend(result.model)
+        assert model[4] is True
+        assert cnf.evaluate(model)
+
+    def test_frozen_variable_never_pure_eliminated(self):
+        cnf = _cnf(2, [[1, 2]])
+        simplified, recon, _stats = simplify(cnf, frozen=[1, 2])
+        assert simplified.num_clauses == 1
+        assert not recon.retired_vars
+
+
+class TestSubsumption:
+    def test_subsumed_clause_removed(self):
+        cnf = _cnf(3, [[1, 2], [1, 2, 3]])
+        config = PreprocessConfig(pure_literals=False, variable_elimination=False)
+        simplified, _recon, stats = simplify(cnf, config=config)
+        assert stats.subsumed_clauses == 1
+        assert simplified.clauses == [(1, 2)]
+
+    def test_duplicate_clauses_counted_at_ingest(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([2, 1])  # same clause, different order
+        cnf.add_clause([1, 2, 3])
+        _simplified, _recon, stats = simplify(cnf)
+        assert stats.duplicate_clauses == 1
+
+    def test_self_subsumption_strengthens(self):
+        # (1 ∨ 2) and (¬1 ∨ 2 ∨ 3): resolving on 1 gives (2 ∨ 3) ⊂ the
+        # second clause, so it is strengthened to drop ¬1... here the rule
+        # strips ¬1 because {2} ⊆ {2, 3}.
+        cnf = _cnf(3, [[1, 2], [-1, 2, 3]])
+        config = PreprocessConfig(pure_literals=False, variable_elimination=False)
+        simplified, _recon, stats = simplify(cnf, config=config)
+        assert stats.strengthened_clauses >= 1
+        assert (2, 3) in simplified.clauses
+
+
+class TestVariableElimination:
+    def test_elimination_shrinks_and_reconstructs(self):
+        # Variable 1 occurs once per polarity: classic NiVER elimination.
+        cnf = _cnf(4, [[1, 2], [-1, 3], [2, 3, 4], [-2, -3], [-4, 2]])
+        simplified, recon, stats = simplify(cnf, config=PreprocessConfig())
+        assert stats.eliminated_variables >= 1
+        result = CDCLSolver().solve(simplified)
+        assert result.is_sat
+        model = recon.extend(result.model)
+        assert cnf.evaluate(model)
+
+    def test_frozen_vars_survive_elimination(self):
+        cnf = _cnf(4, [[1, 2], [-1, 3], [2, 3, 4], [-2, -3], [-4, 2]])
+        frozen = [1, 2, 3, 4]
+        simplified, recon, stats = simplify(cnf, frozen=frozen)
+        assert stats.eliminated_variables == 0
+        assert not recon.retired_vars
+        # Every frozen literal can still be assumed on the simplified CNF
+        # with the same verdict as on the original.
+        for lit in (1, -1, 2, -2, 3, -3, 4, -4):
+            original = CDCLSolver().solve(cnf, assumptions=[lit]).status
+            reduced = CDCLSolver().solve(simplified, assumptions=[lit]).status
+            assert original == reduced, lit
+
+    def test_reconstruction_orders_chained_eliminations(self):
+        # 1 defined from 2, then 2 from 3: reverse replay must fix 2 first.
+        cnf = _cnf(3, [[1, 2], [-1, -2], [2, 3], [-2, -3]])
+        simplified, recon, stats = simplify(cnf)
+        result = CDCLSolver().solve(simplified)
+        assert result.is_sat
+        model = recon.extend(result.model)
+        assert cnf.evaluate(model)
+        assert stats.eliminated_variables + stats.pure_literals >= 1
+
+
+class TestEncoderFormula:
+    def test_reduces_clause_count_on_paper_kernel(self):
+        """Acceptance: real encoder CNF shrinks, verdict and model survive."""
+        dfg = get_kernel("srand")
+        cgra = CGRA.square(2)
+        kms = KernelMobilitySchedule.build(MobilitySchedule.build(dfg), 4)
+        encoding = MappingEncoder(dfg, cgra, kms, EncoderConfig()).encode()
+        simplified, recon, stats = simplify(
+            encoding.cnf, frozen=encoding.variables.values()
+        )
+        assert stats.clauses_removed > 0
+        assert simplified.num_clauses < encoding.cnf.num_clauses
+        result = CDCLSolver().solve(simplified, time_limit=60)
+        reference = CDCLSolver().solve(encoding.cnf, time_limit=60)
+        assert result.status == reference.status
+        if result.is_sat:
+            model = recon.extend(result.model)
+            assert encoding.cnf.evaluate(model)
+            placements = encoding.decode(model)
+            assert set(placements) == set(dfg.node_ids)
+
+
+class TestPreprocessingBackend:
+    def test_registry_exposes_preprocessing_backends(self):
+        names = available_backends()
+        assert "cdcl+preprocess" in names
+        assert "dpll+preprocess" in names
+        backend = create_backend("cdcl+preprocess", random_seed=7)
+        assert backend.name == "cdcl+preprocess"
+
+    def test_solve_reconstructs_models(self):
+        backend = PreprocessingBackend(CDCLBackend())
+        for _ in range(4):
+            backend.new_var()
+        backend.add_clause([1, 2])
+        backend.add_clause([-1, 3])
+        backend.add_clause([-3, 4])
+        result = backend.solve()
+        assert result.is_sat
+        model = result.model
+        assert (model[1] or model[2]) and (not model[1] or model[3])
+
+    def test_post_elimination_reference_raises(self):
+        backend = PreprocessingBackend(CDCLBackend())
+        for _ in range(3):
+            backend.new_var()
+        backend.add_clause([1, 2])
+        backend.add_clause([-1, 3])
+        assert backend.solve().is_sat
+        retired = backend.retired_vars
+        assert retired  # something was eliminated or fixed
+        victim = next(iter(retired))
+        with pytest.raises(PreprocessError):
+            backend.add_clause([victim])
+        with pytest.raises(PreprocessError):
+            backend.freeze([victim])
+
+    def test_frozen_vars_usable_across_batches(self):
+        backend = PreprocessingBackend(CDCLBackend())
+        for _ in range(4):
+            backend.new_var()
+        backend.freeze([1, 2])
+        backend.add_clause([1, 3])
+        backend.add_clause([-3, 2])
+        assert backend.solve(assumptions=[-1]).is_sat
+        # Frozen vars can appear in later clauses and assumptions.
+        backend.add_clause([-2, 4])
+        result = backend.solve(assumptions=[-1])
+        assert result.is_sat
+        model = result.model
+        assert not model[1] and model[2] and model[4]
+
+    def test_stats_accumulate_over_flushes(self):
+        backend = PreprocessingBackend(CDCLBackend())
+        for _ in range(6):
+            backend.new_var()
+        backend.add_clause([1, 2])
+        backend.add_clause([1, 2])  # duplicate
+        backend.solve()
+        first = backend.preprocess_stats.original_clauses
+        assert backend.preprocess_stats.duplicate_clauses == 1
+        backend.add_clause([3, 4])
+        backend.add_clause([4, 3])  # duplicate within second batch
+        backend.solve()
+        assert backend.preprocess_stats.original_clauses > first
+        assert backend.preprocess_stats.duplicate_clauses == 2
+        assert backend.stats.solve_calls == 2
+
+
+class TestReconstructor:
+    def test_extend_completes_unconstrained_vars(self):
+        recon = Reconstructor(num_vars=5)
+        model = recon.extend({1: True})
+        assert model == {1: True, 2: False, 3: False, 4: False, 5: False}
+
+    def test_extend_overrides_stale_values(self):
+        recon = Reconstructor(num_vars=2)
+        recon.record_fixed(2)
+        # The solver may report an arbitrary value for an eliminated var.
+        model = recon.extend({1: True, 2: False})
+        assert model[2] is True

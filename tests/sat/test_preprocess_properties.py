@@ -1,0 +1,92 @@
+"""Hypothesis property tests for the preprocessing pipeline pieces.
+
+Three properties the ISSUE pins down:
+
+* subsumption (with self-subsuming resolution) never changes satisfiability
+  — it is an equivalence-preserving transformation;
+* the full pipeline's BVE reconstruction always yields a valid extension:
+  any model of the simplified formula extends to a model of the original;
+* frozen variables survive simplification verbatim — they are never retired
+  and the simplified formula stays *equivalent* to the original over them
+  (same verdict under any frozen-literal assumption).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+from repro.sat.preprocess import PreprocessConfig, simplify
+from repro.sat.solver import CDCLSolver
+
+_MAX_VARS = 8
+
+
+@st.composite
+def cnfs(draw):
+    """Small random CNFs (mixed widths, occasionally empty clauses' worth)."""
+    num_vars = draw(st.integers(2, _MAX_VARS))
+    literal = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literal, min_size=1, max_size=4)
+    clauses = draw(st.lists(clause, min_size=1, max_size=24))
+    return CNF(num_vars=num_vars, clauses=clauses)
+
+
+def _status(cnf: CNF, assumptions=()) -> str:
+    model = DPLLSolver().solve(cnf, assumptions=assumptions)
+    return "SAT" if model is not None else "UNSAT"
+
+
+@settings(max_examples=120, deadline=None)
+@given(cnf=cnfs())
+def test_subsumption_preserves_satisfiability(cnf):
+    config = PreprocessConfig(
+        unit_propagation=False,
+        pure_literals=False,
+        variable_elimination=False,
+        subsumption=True,
+        self_subsumption=True,
+    )
+    simplified, _recon, stats = simplify(cnf, config=config)
+    assert _status(simplified) == _status(cnf)
+    # Subsumption only ever removes or strengthens clauses.
+    assert simplified.num_clauses <= cnf.num_clauses
+    assert stats.eliminated_variables == 0 and stats.pure_literals == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(cnf=cnfs())
+def test_reconstruction_extends_every_model(cnf):
+    simplified, reconstructor, _stats = simplify(cnf)
+    result = CDCLSolver().solve(simplified)
+    assert result.status == _status(cnf)
+    if result.is_sat:
+        model = reconstructor.extend(result.model)
+        assert cnf.evaluate(model)
+        # The extension covers the full original variable universe.
+        assert set(model) >= set(range(1, cnf.num_vars + 1))
+
+
+@settings(max_examples=80, deadline=None)
+@given(cnf=cnfs(), data=st.data())
+def test_frozen_vars_survive_verbatim(cnf, data):
+    frozen = data.draw(
+        st.lists(
+            st.integers(1, cnf.num_vars), min_size=1, max_size=cnf.num_vars,
+            unique=True,
+        )
+    )
+    simplified, reconstructor, _stats = simplify(cnf, frozen=frozen)
+    # Frozen variables are never eliminated or silently fixed away.
+    assert not (reconstructor.retired_vars & set(frozen))
+    # Equivalence over the frozen variables: any frozen assumption decides
+    # the same way on the original and the simplified formula.
+    for var in frozen:
+        for literal in (var, -var):
+            assert _status(simplified, [literal]) == _status(cnf, [literal]), (
+                literal
+            )
