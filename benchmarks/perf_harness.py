@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Tracked perf harness — thin executable wrapper.
+
+Runs the pinned, seeded kernel x architecture suite defined in
+:mod:`repro.experiments.perf` and writes ``BENCH_solver.json`` (median mapper
+wall time, solve time, encode time, conflicts, propagations/s per case).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py
+    PYTHONPATH=src python benchmarks/perf_harness.py --suite quick --repeats 1
+    PYTHONPATH=src python benchmarks/perf_harness.py --baseline BENCH_solver.json
+
+The same harness is exposed as ``python -m repro.cli bench``.  With
+``--baseline`` it compares the fresh run against a previous JSON document and
+exits non-zero only on *gross* (>3x by default) per-case slowdown or an II
+mismatch — the CI perf job uses exactly this gate.
+"""
+
+import sys
+
+from repro.experiments.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,16 @@
 """Command line interface.
 
-Three sub-commands::
+Four sub-commands::
 
     satmapit map --kernel gsm --rows 4 --cols 4          # map one kernel
     satmapit map --kernel nw --arch-preset mem_edge_4x4  # heterogeneous fabric
     satmapit sweep --sizes 2 3 --timeout 30              # reproduce Fig.6/Tables
+    satmapit bench --baseline BENCH_solver.json          # tracked perf suite
     satmapit show --kernel gsm                           # inspect a kernel DFG
 
 ``python -m repro.cli`` works identically when the console script is not on
-PATH.
+PATH.  ``map --profile`` wraps the run in cProfile and prints the top
+cumulative functions — the profiling recipe from DESIGN.md in one flag.
 """
 
 from __future__ import annotations
@@ -24,6 +26,11 @@ from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
 from repro.core.visualize import render_mapping_report
 from repro.dfg.analysis import minimum_initiation_interval
 from repro.exceptions import ArchitectureError, MappingError
+from repro.experiments.perf import (
+    DEFAULT_OUTPUT as BENCH_DEFAULT_OUTPUT,
+    SUITES as BENCH_SUITES,
+    main as perf_main,
+)
 from repro.experiments.report import write_markdown_report
 from repro.experiments.runner import SCENARIOS, ExperimentConfig, run_sweep
 from repro.experiments.tables import (
@@ -78,12 +85,29 @@ def _cmd_map(args: argparse.Namespace) -> int:
             random_seed=args.seed,
         )
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         outcome = mapper.map(dfg, cgra)
     except MappingError as exc:
         # E.g. the kernel's opcode histogram cannot fit the fabric at any II.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            import io
+            import pstats
+
+            profiler.disable()
+            buffer = io.StringIO()
+            pstats.Stats(profiler, stream=buffer).sort_stats(
+                "cumulative"
+            ).print_stats(25)
+            print(buffer.getvalue())
     print(outcome.summary())
     if args.preprocess == "on":
         print(
@@ -143,6 +167,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Delegate to the perf harness (same engine as benchmarks/perf_harness.py)."""
+    argv = ["--suite", args.suite, "--repeats", str(args.repeats),
+            "--out", args.out, "--max-slowdown", str(args.max_slowdown)]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    return perf_main(argv)
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     dfg = _load_dfg(args)
     if args.kernel:
@@ -192,12 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--seed", type=int, default=None,
                          help="random seed forwarded to the solver")
     map_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
-                         default=AMOEncoding.SEQUENTIAL.value,
-                         help="at-most-one encoding (default: sequential)")
+                         default=AMOEncoding.AUTO.value,
+                         help="at-most-one encoding (default: auto — "
+                              "pairwise for small groups, sequential above)")
     map_cmd.add_argument("--preprocess", choices=["on", "off"], default="off",
                          help="SatELite-style CNF simplification before "
                               "solving, with model reconstruction "
                               "(default: off)")
+    map_cmd.add_argument("--profile", action="store_true",
+                         help="run under cProfile and print the top "
+                              "cumulative functions after the mapping")
     map_cmd.add_argument("--verbose", action="store_true")
     map_cmd.set_defaults(func=_cmd_map)
 
@@ -215,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--seed", type=int, default=None,
                            help="random seed forwarded to the SAT-MapIt solver")
     sweep_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
-                           default=AMOEncoding.SEQUENTIAL.value,
-                           help="at-most-one encoding (default: sequential)")
+                           default=AMOEncoding.AUTO.value,
+                           help="at-most-one encoding (default: auto — "
+                                "pairwise for small groups, sequential above)")
     sweep_cmd.add_argument("--preprocess", choices=["on", "off"], default="off",
                            help="CNF preprocessing for the SAT-MapIt runs; "
                                 "the sweep then prints the preprocessing "
@@ -228,6 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--write-report", metavar="PATH",
                            help="write EXPERIMENTS-style Markdown report to PATH")
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite and write BENCH_solver.json",
+    )
+    bench_cmd.add_argument("--suite", choices=sorted(BENCH_SUITES),
+                           default="default")
+    bench_cmd.add_argument("--repeats", type=int, default=3,
+                           help="runs per case; the median wall time is kept")
+    bench_cmd.add_argument("--out", default=BENCH_DEFAULT_OUTPUT,
+                           help="output JSON path "
+                                f"(default: {BENCH_DEFAULT_OUTPUT})")
+    bench_cmd.add_argument("--baseline", metavar="FILE",
+                           help="compare against a previous BENCH_solver.json "
+                                "and fail on gross slowdown or II mismatch")
+    bench_cmd.add_argument("--max-slowdown", type=float, default=3.0,
+                           help="per-case wall-time ratio failing the "
+                                "--baseline gate (default: 3.0)")
+    bench_cmd.set_defaults(func=_cmd_bench)
 
     show_cmd = sub.add_parser("show", help="inspect a kernel DFG and its schedules")
     show_cmd.add_argument("--kernel", choices=all_kernel_names())

@@ -52,7 +52,7 @@ from repro.sat.encodings import AMOEncoding, at_most_one, exactly_one
 class EncoderConfig:
     """Options controlling the shape and strictness of the encoding."""
 
-    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    amo_encoding: AMOEncoding = AMOEncoding.AUTO
     #: Maximum KMS-iteration distance between the two endpoints of a
     #: dependency (the paper considers "literals that are at most one
     #: iteration apart"); ``None`` removes the restriction.
@@ -88,54 +88,132 @@ class EncodingStats:
     #: emitter dropped at ingest (e.g. the same implication reached through
     #: two dependency edges); surfaced originally by ``PreprocessStats``.
     num_duplicate_clauses: int = 0
+    #: Bulk flushes the batching emitter pushed into the sink — the whole
+    #: constraint group crosses the encoder/solver boundary in this many
+    #: calls instead of one per clause.
+    num_batches: int = 0
 
 
 class _Emitter:
-    """Counting clause sink, optionally guarding every clause with a literal.
+    """Batching clause sink, optionally guarding every clause with a literal.
 
     Wraps anything exposing ``new_var``/``add_clause`` (a :class:`CNF` or a
     live solver backend).  When ``selector`` is given, every emitted clause is
     prefixed with ``¬selector`` so the whole group hangs off one assumption
     literal.  Exact duplicate clauses — the constraint generators can derive
     the same implication through different edges — are dropped before they
-    reach the sink and counted separately.  The counters feed
-    :class:`EncodingStats` uniformly in both modes.
+    reach the sink (hashed per-batch dedup on the sorted literal tuple) and
+    counted separately.  The counters feed :class:`EncodingStats` uniformly
+    in both modes.
+
+    Emission is *batched*: clauses accumulate in a buffer that is flushed
+    through the sink's bulk ``add_clauses`` entry point (falling back to
+    per-clause ``add_clause`` for plain sinks), so a full constraint group
+    costs a handful of Python call boundaries instead of three per clause.
+    Callers must :meth:`flush` once emission is complete —
+    :meth:`MappingEncoder.encode` does.
     """
 
-    __slots__ = ("_sink", "_guard", "_seen", "num_clauses", "num_vars_created",
-                 "num_duplicates")
+    __slots__ = ("_sink", "_guard", "_seen", "_batch", "num_clauses",
+                 "num_vars_created", "num_duplicates", "num_batches")
+
+    #: Clauses buffered before a flush; bounds peak buffer memory while
+    #: keeping the per-clause call overhead negligible.
+    BATCH_SIZE = 4096
 
     def __init__(self, sink, selector: int | None = None) -> None:
         self._sink = sink
         self._guard = -selector if selector is not None else None
         self._seen: set[tuple[int, ...]] = set()
+        self._batch: list[list[int]] = []
         self.num_clauses = 0
         self.num_vars_created = 0
         self.num_duplicates = 0
+        self.num_batches = 0
 
     def new_var(self) -> int:
         self.num_vars_created += 1
         return self._sink.new_var()
 
     def new_vars(self, count: int) -> list[int]:
-        return [self.new_var() for _ in range(count)]
+        """Bulk variable allocation through the sink when it supports it."""
+        bulk = getattr(self._sink, "new_vars", None)
+        if bulk is None:
+            return [self.new_var() for _ in range(count)]
+        variables = bulk(count)
+        self.num_vars_created += len(variables)
+        return variables
 
     def add_clause(self, literals) -> None:
-        literals = list(literals)
+        # The emitter takes ownership of ``literals`` (every caller builds a
+        # fresh list per clause); only non-list iterables are copied.
+        if type(literals) is not list:
+            literals = list(literals)
         key = tuple(sorted(literals))
         if key in self._seen:
             self.num_duplicates += 1
             return
         self._seen.add(key)
         self.num_clauses += 1
-        if self._guard is None:
-            self._sink.add_clause(literals)
-        else:
+        if self._guard is not None:
             # Guard at the tail: the watched literals (the first two) stay
             # the ones the unguarded encoding would watch, so propagation
             # inside a live attempt follows the same trajectory as a fresh
             # solver on the standalone formula.
-            self._sink.add_clause([*literals, self._guard])
+            literals.append(self._guard)
+        self._batch.append(literals)
+        if len(self._batch) >= self.BATCH_SIZE:
+            self.flush()
+
+    def add_pairwise_amo(self, lits) -> None:
+        """Emit the quadratic pairwise at-most-one over ``lits`` in bulk.
+
+        The ``AUTO`` encoding produces tens of thousands of two-literal
+        clauses per attempt; running the double loop here with the dedup
+        set, guard and batch as locals makes each pair a few operations
+        instead of a full ``add_clause`` round-trip.
+        """
+        seen = self._seen
+        batch = self._batch
+        guard = self._guard
+        emitted = 0
+        duplicates = 0
+        for index in range(len(lits) - 1):
+            first = -lits[index]
+            for other_lit in lits[index + 1:]:
+                second = -other_lit
+                key = (first, second) if first <= second else (second, first)
+                if key in seen:
+                    duplicates += 1
+                    continue
+                seen.add(key)
+                emitted += 1
+                batch.append(
+                    [first, second] if guard is None else [first, second, guard]
+                )
+            if len(batch) >= self.BATCH_SIZE:
+                self.flush()
+                batch = self._batch
+        self.num_clauses += emitted
+        self.num_duplicates += duplicates
+
+    def flush(self) -> None:
+        """Push the buffered batch into the sink."""
+        if not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        self.num_batches += 1
+        bulk = getattr(self._sink, "add_clauses", None)
+        if bulk is not None:
+            # The constraint generators only build clauses over distinct
+            # variables, so the sink may skip intra-clause hygiene checks;
+            # passing the batch's guard literal routes guard-tailed ternary
+            # clauses onto the solver's guard-aware implication lists.
+            bulk(batch, trusted=True, guard=self._guard)
+        else:
+            add = self._sink.add_clause
+            for clause in batch:
+                add(clause)
 
 
 @dataclass
@@ -192,6 +270,10 @@ class MappingEncoder:
         self._selector = selector
         self._emit = _Emitter(self._cnf if sink is None else sink, selector)
         self._variables: dict[tuple[int, int, int, int], int] = {}
+        #: ``(node, cycle, iteration) -> {pe: var}`` — the C3 loops resolve
+        #: one slot row and then index it per PE, instead of hashing a
+        #: 4-tuple per literal.
+        self._vars_by_slot: dict[tuple[int, int, int], dict[int, int]] = {}
         self._slot_literals: dict[tuple[int, int], list[int]] = {}
         self._occupancy_vars: dict[tuple[int, int], int] = {}
         self._stats = EncodingStats()
@@ -210,6 +292,12 @@ class MappingEncoder:
                 )
             self._allowed_pes[node.node_id] = allowed
             self._allowed_sets[node.node_id] = frozenset(allowed)
+        #: Per-PE neighbour tuples (self included), hoisted out of the C3
+        #: inner loops.
+        self._neighbours: dict[int, tuple[int, ...]] = {
+            pe: cgra.neighbours(pe, include_self=True)
+            for pe in range(cgra.num_pes)
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -222,9 +310,11 @@ class MappingEncoder:
         self._encode_c3()
         if self.config.symmetry_breaking:
             self._encode_symmetry_breaking()
+        self._emit.flush()
         self._stats.num_variables = self._emit.num_vars_created
         self._stats.num_clauses = self._emit.num_clauses
         self._stats.num_duplicate_clauses = self._emit.num_duplicates
+        self._stats.num_batches = self._emit.num_batches
         literals_by_node = {
             node_id: [
                 self._variables[(node_id, pe, slot.cycle, slot.iteration)]
@@ -246,18 +336,27 @@ class MappingEncoder:
     # ------------------------------------------------------------------
     def _create_variables(self) -> None:
         num_pes = self.cgra.num_pes
+        variables = self._variables
+        slot_literals = self._slot_literals
         for node_id in self.dfg.node_ids:
             slots = self.kms.node_slots(node_id)
             if not slots:
                 raise EncodingError(f"node {node_id} has no KMS slots")
             allowed = self._allowed_pes[node_id]
             self._stats.num_pruned_placements += (num_pes - len(allowed)) * len(slots)
+            # One bulk allocation per node instead of one call chain per
+            # (slot, PE) literal.
+            block = iter(self._emit.new_vars(len(slots) * len(allowed)))
             for slot in slots:
+                cycle = slot.cycle
+                iteration = slot.iteration
+                row: dict[int, int] = {}
+                self._vars_by_slot[(node_id, cycle, iteration)] = row
                 for pe in allowed:
-                    var = self._emit.new_var()
-                    key = (node_id, pe, slot.cycle, slot.iteration)
-                    self._variables[key] = var
-                    self._slot_literals.setdefault((pe, slot.cycle), []).append(var)
+                    var = next(block)
+                    variables[(node_id, pe, cycle, iteration)] = var
+                    row[pe] = var
+                    slot_literals.setdefault((pe, cycle), []).append(var)
 
     def _var(self, node: int, pe: int, cycle: int, iteration: int) -> int:
         return self._variables[(node, pe, cycle, iteration)]
@@ -345,36 +444,47 @@ class MappingEncoder:
         anchor_node = edge.src if forward else edge.dst
         other_node = edge.dst if forward else edge.src
         other_allowed = self._allowed_sets[other_node]
+        vars_by_slot = self._vars_by_slot
+        # Neighbour sets filtered by capability once per anchor PE, not once
+        # per (slot, compatible entry).
+        reachable = {
+            anchor_pe: [
+                pe for pe in self._neighbours[anchor_pe] if pe in other_allowed
+            ]
+            for anchor_pe in self._allowed_pes[anchor_node]
+        }
         for anchor_slot in anchor_slots:
+            if forward:
+                entries = compatible_slots[(anchor_slot.cycle, anchor_slot.iteration)]
+            else:
+                t_dst = anchor_slot.flat_time(ii) + edge.distance * ii
+                entries = []
+                for src_slot in self.kms.node_slots(edge.src):
+                    if (
+                        self.config.max_iteration_span is not None
+                        and abs(anchor_slot.iteration - src_slot.iteration)
+                        > self.config.max_iteration_span
+                    ):
+                        continue
+                    if t_dst - src_slot.flat_time(ii) < latency:
+                        continue
+                    entries.append((src_slot.cycle, src_slot.iteration, 0))
+            # One row lookup per compatible slot; per-PE resolution is then
+            # a small int-keyed dict hit.
+            entry_rows = [
+                vars_by_slot[(other_node, cycle, iteration)]
+                for cycle, iteration, _span in entries
+            ]
+            anchor_row = vars_by_slot[
+                (anchor_node, anchor_slot.cycle, anchor_slot.iteration)
+            ]
             for anchor_pe in self._allowed_pes[anchor_node]:
-                anchor_var = self._var(
-                    anchor_node, anchor_pe, anchor_slot.cycle, anchor_slot.iteration
-                )
-                support: list[int] = []
-                if forward:
-                    entries = compatible_slots[(anchor_slot.cycle, anchor_slot.iteration)]
-                    for cycle, iteration, _span in entries:
-                        for pe in self.cgra.neighbours(anchor_pe, include_self=True):
-                            if pe in other_allowed:
-                                support.append(self._var(edge.dst, pe, cycle, iteration))
-                else:
-                    t_dst = anchor_slot.flat_time(ii) + edge.distance * ii
-                    for src_slot in self.kms.node_slots(edge.src):
-                        if (
-                            self.config.max_iteration_span is not None
-                            and abs(anchor_slot.iteration - src_slot.iteration)
-                            > self.config.max_iteration_span
-                        ):
-                            continue
-                        if t_dst - src_slot.flat_time(ii) < latency:
-                            continue
-                        for pe in self.cgra.neighbours(anchor_pe, include_self=True):
-                            if pe in other_allowed:
-                                support.append(
-                                    self._var(edge.src, pe, src_slot.cycle,
-                                              src_slot.iteration)
-                                )
-                self._emit.add_clause([-anchor_var] + support)
+                support = [-anchor_row[anchor_pe]]
+                nbrs = reachable[anchor_pe]
+                for row in entry_rows:
+                    for pe in nbrs:
+                        support.append(row[pe])
+                self._emit.add_clause(support)
 
     def _overwrite_clauses(
         self,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from itertools import chain
 
 from repro.cgra.architecture import CGRA
 from repro.cgra.capabilities import check_kernel_fits, effective_minimum_ii
@@ -75,7 +76,19 @@ class MapperConfig:
     #: register allocation rejects a mapping (each retry adds a blocking
     #: clause over the overloaded PE's placements).
     regalloc_retries: int = 3
-    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    #: At-most-one encoding; ``AUTO`` (pairwise below
+    #: ``AUTO_PAIRWISE_LIMIT`` literals, sequential above) propagates
+    #: several times fewer literals per conflict on the flat-core's
+    #: implication lists than a fixed sequential counter.
+    amo_encoding: AMOEncoding = AMOEncoding.AUTO
+    #: Two-phase encoding escalation (``AUTO`` + incremental backend only):
+    #: each (II, slack) attempt is first *probed* with the compact
+    #: sequential encoding under this conflict budget — easy attempts
+    #: conclude without ever paying the quadratic pairwise emission; an
+    #: inconclusive probe retires its group and re-encodes the same attempt
+    #: with the propagation-optimal ``AUTO`` form.  ``None`` disables the
+    #: probe.  Sound because each phase is its own selector-guarded group.
+    amo_probe_conflicts: int | None = 600
     #: Solver backend name (see :mod:`repro.sat.backend`); ``"cdcl"`` is the
     #: production engine, ``"dpll"`` the slow reference oracle.
     backend: str = "cdcl"
@@ -133,6 +146,33 @@ class IIAttempt:
     pre_clauses_removed: int = 0
     pre_vars_eliminated: int = 0
     preprocess_time: float = 0.0
+    #: Solver-core counters summed over this attempt's solve calls:
+    #: propagations, implications served by the binary/ternary implication
+    #: lists, and watch entries dismissed by their blocker literal.
+    propagations: int = 0
+    binary_propagations: int = 0
+    blocker_skips: int = 0
+    #: Flat clause-store footprint (bytes) when the last solve returned.
+    arena_bytes: int = 0
+    #: Batched emission: bulk flushes the encoder pushed into the solver and
+    #: exact duplicate clauses its per-batch hashed dedup dropped.
+    emission_batches: int = 0
+    duplicate_clauses_dropped: int = 0
+    #: Whether the attempt escalated from the sequential probe encoding to
+    #: the pairwise-optimised ``AUTO`` form (see
+    #: ``MapperConfig.amo_probe_conflicts``).
+    escalated: bool = False
+
+    def record_solve(self, stats) -> None:
+        """Fold one solve call's :class:`SolverStats` into this attempt."""
+        self.solve_calls += 1
+        self.solve_time += stats.solve_time
+        self.conflicts += stats.conflicts
+        self.decisions += stats.decisions
+        self.propagations += stats.propagations
+        self.binary_propagations += stats.binary_propagations
+        self.blocker_skips += stats.blocker_skips
+        self.arena_bytes = max(self.arena_bytes, stats.arena_bytes)
 
 
 @dataclass
@@ -180,6 +220,31 @@ class MappingOutcome:
     def preprocess_time(self) -> float:
         """Wall-clock seconds spent inside the preprocessor, summed."""
         return sum(attempt.preprocess_time for attempt in self.attempts)
+
+    @property
+    def binary_propagations(self) -> int:
+        """Implications served by the implication lists, summed."""
+        return sum(attempt.binary_propagations for attempt in self.attempts)
+
+    @property
+    def blocker_skips(self) -> int:
+        """Watch entries dismissed by a true blocker literal, summed."""
+        return sum(attempt.blocker_skips for attempt in self.attempts)
+
+    @property
+    def arena_bytes(self) -> int:
+        """Peak flat clause-store footprint over the run's attempts."""
+        return max((attempt.arena_bytes for attempt in self.attempts), default=0)
+
+    @property
+    def emission_batches(self) -> int:
+        """Bulk emission flushes across all attempts."""
+        return sum(attempt.emission_batches for attempt in self.attempts)
+
+    @property
+    def duplicate_clauses_dropped(self) -> int:
+        """Duplicate clauses the emitter's hashed dedup dropped, summed."""
+        return sum(attempt.duplicate_clauses_dropped for attempt in self.attempts)
 
     @property
     def final_status(self) -> str:
@@ -285,46 +350,75 @@ class SatMapItMapper:
             attempt = IIAttempt(ii=ii, schedule_slack=slack, status="UNKNOWN")
             outcome.attempts.append(attempt)
 
-            encode_start = time.perf_counter()
-            mobility = MobilitySchedule.build(dfg, slack=slack)
-            kms = KernelMobilitySchedule.build(mobility, ii)
-            encoder_config = EncoderConfig(
-                amo_encoding=config.amo_encoding,
-                max_iteration_span=config.max_iteration_span,
-                enforce_output_register=config.enforce_output_register,
-                symmetry_breaking=config.symmetry_breaking,
-            )
-            if backend is not None:
-                # Incremental path: emit this attempt's constraint group into
-                # the persistent backend, guarded by a fresh selector literal.
-                attempt.learned_carried_in = backend.stats.learned_in_db
-                selector = backend.new_var()
-                attempt.selector = selector
-                # The selector is assumed on every solve call and negated at
-                # retirement; a simplifying backend must never touch it.
-                backend.freeze([selector])
-                encoder = MappingEncoder(
-                    dfg, cgra, kms, encoder_config, sink=backend, selector=selector
-                )
-            else:
-                selector = None
-                encoder = MappingEncoder(dfg, cgra, kms, encoder_config)
-            encoding = encoder.encode()
-            if backend is not None:
-                # Placement literals are decoded from models and re-appear in
-                # register-allocation blocking clauses and retirement units —
-                # they must survive preprocessing verbatim.
-                backend.freeze(encoding.variables.values())
-            attempt.encode_time = time.perf_counter() - encode_start
-            attempt.num_variables = encoding.stats.num_variables
-            attempt.num_clauses = encoding.stats.num_clauses
-
             conflict_limit = config.solver_conflict_limit
             if extra_slack > 0 and config.slack_conflict_limit is not None:
                 if conflict_limit is None:
                     conflict_limit = config.slack_conflict_limit
                 else:
                     conflict_limit = min(conflict_limit, config.slack_conflict_limit)
+
+            encode_start = time.perf_counter()
+            mobility = MobilitySchedule.build(dfg, slack=slack)
+            kms = KernelMobilitySchedule.build(mobility, ii)
+
+            def encode_group(amo: AMOEncoding):
+                """Encode this attempt's constraint group (one per phase)."""
+                encoder_config = EncoderConfig(
+                    amo_encoding=amo,
+                    max_iteration_span=config.max_iteration_span,
+                    enforce_output_register=config.enforce_output_register,
+                    symmetry_breaking=config.symmetry_breaking,
+                )
+                if backend is not None:
+                    # Incremental path: emit into the persistent backend,
+                    # guarded by a fresh selector literal.  The selector is
+                    # assumed on every solve call and negated at retirement;
+                    # a simplifying backend must never touch it.
+                    group_selector = backend.new_var()
+                    backend.freeze([group_selector])
+                    encoder = MappingEncoder(
+                        dfg, cgra, kms, encoder_config,
+                        sink=backend, selector=group_selector,
+                    )
+                else:
+                    group_selector = None
+                    encoder = MappingEncoder(dfg, cgra, kms, encoder_config)
+                group_encoding = encoder.encode()
+                if backend is not None:
+                    # Placement literals are decoded from models and re-appear
+                    # in register-allocation blocking clauses and retirement
+                    # units — they must survive preprocessing verbatim.
+                    backend.freeze(group_encoding.variables.values())
+                attempt.num_variables = group_encoding.stats.num_variables
+                attempt.num_clauses = group_encoding.stats.num_clauses
+                attempt.emission_batches += group_encoding.stats.num_batches
+                attempt.duplicate_clauses_dropped += (
+                    group_encoding.stats.num_duplicate_clauses
+                )
+                return group_encoding, group_selector
+
+            # Two-phase escalation: probe with the compact sequential
+            # encoding first; only attempts too hard for the probe budget
+            # pay the quadratic pairwise emission (where its propagation
+            # advantage dwarfs the encode cost).
+            probe_budget = config.amo_probe_conflicts
+            # Probing applies on both solving paths (so incremental and
+            # one-shot runs walk comparable trajectories); the one-shot
+            # preprocessing path is excluded — it would pay the simplifier
+            # twice.
+            probing = (
+                config.amo_encoding is AMOEncoding.AUTO
+                and probe_budget is not None
+                and (conflict_limit is None or conflict_limit > probe_budget)
+                and not (backend is None and config.preprocess)
+            )
+            first_amo = AMOEncoding.SEQUENTIAL if probing else config.amo_encoding
+            encoding, selector = encode_group(first_amo)
+            attempt.selector = selector
+            if backend is not None:
+                attempt.learned_carried_in = backend.stats.learned_in_db
+            attempt.encode_time = time.perf_counter() - encode_start
+
             time_limit = self._remaining_time(start)
             if config.attempt_time_limit is not None:
                 if time_limit is None:
@@ -349,27 +443,81 @@ class SatMapItMapper:
                 if pre_stats is not None
                 else (0, 0, 0.0)
             )
-            for regalloc_round in range(config.regalloc_retries + 1):
-                attempt.solve_calls += 1
+            # The mapper only ever decodes placement literals, so every SAT
+            # model is projected onto them instead of materialising the full
+            # ``{var: bool}`` dict over the persistent solver's whole
+            # (attempt-accumulating) variable universe.  The one-shot
+            # preprocessing path is the exception: model reconstruction
+            # needs the full simplified-formula model first.
+            placement_vars = list(encoding.variables.values())
+            pending_result = None
+            if probing:
                 if backend is not None:
+                    probe_result = backend.solve(
+                        assumptions=[selector],
+                        conflict_limit=probe_budget,
+                        time_limit=time_limit,
+                        model_vars=placement_vars,
+                    )
+                else:
+                    fresh_solver = CDCLSolver(random_seed=config.random_seed)
+                    probe_result = fresh_solver.solve(
+                        encoding.cnf,
+                        conflict_limit=probe_budget,
+                        time_limit=time_limit,
+                        model_vars=placement_vars,
+                    )
+                attempt.record_solve(probe_result.stats)
+                if (
+                    probe_result.status == "UNKNOWN"
+                    and probe_result.stats.conflicts >= probe_budget
+                    and not self._out_of_time(start)
+                ):
+                    # Too hard for the probe (the *conflict* budget ran out,
+                    # not the clock): drop the sequential group and
+                    # re-encode the same attempt pairwise-optimised.
+                    if backend is not None:
+                        self._retire_group(backend, selector)
+                    else:
+                        fresh_solver = None
+                    attempt.escalated = True
+                    self._log(f"II={ii} slack={slack}: escalating to "
+                              f"pairwise AMO after {probe_budget} conflicts")
+                    escalate_start = time.perf_counter()
+                    encoding, selector = encode_group(config.amo_encoding)
+                    attempt.selector = selector
+                    attempt.encode_time += time.perf_counter() - escalate_start
+                    placement_vars = list(encoding.variables.values())
+                    # The probe's spend counts against the attempt's budgets:
+                    # charge its conflicts to the configured cap and refresh
+                    # the wall-clock limit for the escalated phase.
+                    if conflict_limit is not None:
+                        conflict_limit = max(
+                            1, conflict_limit - probe_result.stats.conflicts
+                        )
+                    time_limit = self._remaining_time(start)
+                    if config.attempt_time_limit is not None:
+                        if time_limit is None:
+                            time_limit = config.attempt_time_limit
+                        else:
+                            time_limit = min(time_limit, config.attempt_time_limit)
+                else:
+                    # The probe concluded (or ran out the clock): its result
+                    # feeds the round below as-is.
+                    pending_result = probe_result
+            for regalloc_round in range(config.regalloc_retries + 1):
+                consumed_probe = False
+                if pending_result is not None:
+                    # The probe's conclusive answer; stats already recorded.
+                    result, pending_result = pending_result, None
+                    consumed_probe = True
+                elif backend is not None:
                     result = backend.solve(
                         assumptions=[selector],
                         conflict_limit=conflict_limit,
                         time_limit=time_limit,
+                        model_vars=placement_vars,
                     )
-                    if pre_stats is not None:
-                        # The wrapper flushed (and simplified) the pending
-                        # clauses inside solve; attribute the delta here so
-                        # even a successful early return carries the stats.
-                        attempt.pre_clauses_removed = (
-                            pre_stats.clauses_removed - pre_base[0]
-                        )
-                        attempt.pre_vars_eliminated = (
-                            pre_stats.variables_removed - pre_base[1]
-                        )
-                        attempt.preprocess_time = (
-                            pre_stats.preprocess_time - pre_base[2]
-                        )
                 elif fresh_solver is None:
                     fresh_solver = CDCLSolver(random_seed=config.random_seed)
                     attempt_cnf = encoding.cnf
@@ -387,15 +535,30 @@ class SatMapItMapper:
                         attempt_cnf,
                         conflict_limit=conflict_limit,
                         time_limit=time_limit,
+                        model_vars=None if reconstructor is not None else placement_vars,
                     )
                 else:
                     result = fresh_solver.solve(
                         conflict_limit=conflict_limit,
                         time_limit=time_limit,
+                        model_vars=None if reconstructor is not None else placement_vars,
                     )
-                attempt.solve_time += result.stats.solve_time
-                attempt.conflicts += result.stats.conflicts
-                attempt.decisions += result.stats.decisions
+                if not consumed_probe:
+                    attempt.record_solve(result.stats)
+                if pre_stats is not None:
+                    # The wrapper flushed (and simplified) the pending
+                    # clauses inside solve (probe included); attribute the
+                    # absolute delta so even a successful early return
+                    # carries the stats.
+                    attempt.pre_clauses_removed = (
+                        pre_stats.clauses_removed - pre_base[0]
+                    )
+                    attempt.pre_vars_eliminated = (
+                        pre_stats.variables_removed - pre_base[1]
+                    )
+                    attempt.preprocess_time = (
+                        pre_stats.preprocess_time - pre_base[2]
+                    )
                 if retry_baseline is None:
                     # Sink clause count after the first solve: everything
                     # added past this point is retry work.
@@ -462,18 +625,34 @@ class SatMapItMapper:
             # is guarded by the now-false selector), so pin them false too —
             # otherwise every later solve would re-branch over them.
             if backend is not None:
-                last_var = backend.num_vars
-                backend.add_clause([-selector])
-                retired = backend.retired_vars
-                for dead_var in range(selector + 1, last_var + 1):
-                    # Variables the preprocessor already eliminated are gone
-                    # from the solver (and unit-pinning them would be an
-                    # unsound reference to an eliminated variable).
-                    if dead_var in retired:
-                        continue
-                    backend.add_clause([-dead_var])
+                self._retire_group(backend, selector)
             # Try the next slack level / II.
         return None
+
+    @staticmethod
+    def _retire_group(backend: SolverBackend, selector: int) -> None:
+        """Retire a selector-guarded constraint group.
+
+        One bulk submission: the ``¬selector`` unit (which root-satisfies
+        every guarded clause) plus a pin for each of the group's variables
+        (don't-cares from here on — without the pins every later solve
+        would re-branch over them), propagated in a single root sweep.
+        Variables the preprocessor already eliminated are gone from the
+        solver (and unit-pinning them would be an unsound reference to an
+        eliminated variable).
+        """
+        last_var = backend.num_vars
+        retired = backend.retired_vars
+        backend.add_clauses(
+            chain(
+                ([-selector],),
+                (
+                    [-dead_var]
+                    for dead_var in range(selector + 1, last_var + 1)
+                    if dead_var not in retired
+                ),
+            )
+        )
 
     @staticmethod
     def _sink_clause_count(backend: SolverBackend | None, fresh_solver) -> int:

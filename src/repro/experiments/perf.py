@@ -1,0 +1,360 @@
+"""Tracked performance harness for the SAT-MapIt mapping core.
+
+The ROADMAP's north star demands the mapper run "as fast as the hardware
+allows"; this module makes that a *measured* property.  It runs a pinned,
+seeded suite of (kernel, fabric) mapping cases through :class:`SatMapItMapper`
+and records per-case medians (mapper wall time, solve time, encode time,
+conflicts, propagations/s) to ``BENCH_solver.json``, so every change to the
+solver core leaves a comparable perf trajectory in the repository.
+
+Two kinds of cases are pinned:
+
+* **completing cases** — kernels the mapper finishes quickly; their wall time
+  measures the end-to-end pipeline (encode + solve + register allocation).
+* **conflict-bounded cases** (``#cN`` suffix) — instances far too hard to
+  finish, run for exactly ``N`` solver conflicts at the minimum II.  Their
+  wall time measures raw solver throughput (time per conflict) on a
+  deterministic workload, which is the most sensitive regression sensor the
+  suite has.
+
+Every case is deterministic for the pinned seed, so medians over a handful of
+repeats are stable and two runs on the same machine compare cleanly.
+:func:`compare` implements the CI gate: it only fails on *gross* (>3x by
+default) per-case slowdown, which tolerates machine noise while still
+catching accidental algorithmic regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import effective_minimum_ii
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.kernels import get_kernel
+
+#: Format tag written into the JSON so future schema changes are detectable.
+SCHEMA = "satmapit-bench/1"
+
+#: Default output file at the repository root.
+DEFAULT_OUTPUT = "BENCH_solver.json"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark case.
+
+    ``conflict_limit`` turns the case into a bounded-workload throughput
+    probe: the mapper runs a single (II = MII, slack 0) attempt for exactly
+    that many conflicts and stops.
+    """
+
+    name: str
+    kernel: str
+    size: int
+    conflict_limit: int | None = None
+    timeout: float = 120.0
+
+    @property
+    def bounded(self) -> bool:
+        return self.conflict_limit is not None
+
+
+#: The pinned suite (seed 0 everywhere).  Completing cases first — from
+#: encode-bound small instances up to a 4x4 run with real UNSAT proofs —
+#: then the conflict-bounded throughput probes on instances that cannot
+#: finish.  Sub-10ms cases are deliberately excluded: they measure noise,
+#: not the mapper.
+PINNED_SUITE: tuple[BenchCase, ...] = (
+    BenchCase("hotspot@3x3", "hotspot", 3),
+    BenchCase("stringsearch@3x3", "stringsearch", 3),
+    BenchCase("sha@3x3", "sha", 3),
+    BenchCase("gsm@2x2", "gsm", 2),
+    BenchCase("backprop@3x3", "backprop", 3),
+    BenchCase("gsm@4x4", "gsm", 4, timeout=300.0),
+    BenchCase("sha@2x2#c1500", "sha", 2, conflict_limit=1500),
+    BenchCase("sha2@2x2#c1500", "sha2", 2, conflict_limit=1500),
+    BenchCase("patricia@3x3#c1500", "patricia", 3, conflict_limit=1500),
+    BenchCase("sha@4x4#c1500", "sha", 4, conflict_limit=1500),
+)
+
+#: Subset used by ``repro bench --suite quick`` and the CI smoke gate.
+QUICK_SUITE: tuple[BenchCase, ...] = tuple(
+    case
+    for case in PINNED_SUITE
+    if case.name in ("gsm@2x2", "backprop@3x3", "sha@2x2#c1500", "sha2@2x2#c1500")
+)
+
+SUITES = {"default": PINNED_SUITE, "quick": QUICK_SUITE}
+
+#: Seed pinned for every case so two runs do identical solver work.
+BENCH_SEED = 0
+
+#: Cases whose baseline wall time is below this are reported but never fail
+#: the gate: a single-repeat sub-50ms pure-Python run on a shared CI machine
+#: swings by more than the 3x tolerance on scheduler noise alone.
+MIN_GATE_WALL_S = 0.05
+
+
+def _case_config(case: BenchCase, dfg, cgra: CGRA) -> tuple[MapperConfig, int | None]:
+    """Mapper configuration plus forced start II for one case.
+
+    Two knobs make the achieved II a *property of the formula* rather than
+    of the solver's search trajectory, so the harness can assert II equality
+    across solver changes:
+
+    * ``slack_conflict_limit=None`` — every slack attempt runs to a decisive
+      SAT/UNSAT answer instead of an inconclusive bounded one;
+    * ``run_register_allocation=False`` — the regalloc post-pass accepts or
+      rejects *specific models*, so with it enabled the final II depends on
+      which SAT model the trajectory happens to find first.
+    """
+    if case.bounded:
+        # A single attempt at the minimum II with a per-solve conflict
+        # budget: a deterministic hard workload under whatever solving
+        # strategy the mapper ships by default (encoding escalation
+        # included), so the measurement is end-to-end honest on both sides
+        # of a baseline comparison.
+        mii = effective_minimum_ii(dfg, cgra)
+        options = dict(
+            timeout=case.timeout,
+            max_ii=mii,
+            max_extra_slack=0,
+            solver_conflict_limit=case.conflict_limit,
+            run_register_allocation=False,
+            random_seed=BENCH_SEED,
+        )
+        if "amo_probe_conflicts" in MapperConfig.__dataclass_fields__:
+            # Probing would spend part of the fixed conflict budget in the
+            # sequential phase; the throughput probes measure the escalated
+            # (pairwise-optimised) regime directly.  The guard keeps the
+            # harness runnable against historical trees without the knob.
+            options["amo_probe_conflicts"] = None
+        config = MapperConfig(**options)
+        return config, mii
+    config = MapperConfig(
+        timeout=case.timeout,
+        slack_conflict_limit=None,
+        run_register_allocation=False,
+        random_seed=BENCH_SEED,
+    )
+    return config, None
+
+
+def run_case(case: BenchCase, repeats: int = 3) -> dict:
+    """Run one case ``repeats`` times and return its median measurements."""
+    dfg = get_kernel(case.kernel)
+    cgra = CGRA.square(case.size)
+    config, start_ii = _case_config(case, dfg, cgra)
+
+    runs: list[tuple[float, dict]] = []
+    for _ in range(max(1, repeats)):
+        mapper = SatMapItMapper(config)
+        start = time.perf_counter()
+        outcome = mapper.map(dfg, cgra, start_ii=start_ii)
+        wall = time.perf_counter() - start
+        solve = sum(a.solve_time for a in outcome.attempts)
+        encode = sum(a.encode_time for a in outcome.attempts)
+        conflicts = sum(a.conflicts for a in outcome.attempts)
+        propagations = sum(getattr(a, "propagations", 0) for a in outcome.attempts)
+        record = {
+            "name": case.name,
+            "kernel": case.kernel,
+            "size": case.size,
+            "bounded": case.bounded,
+            "conflict_limit": case.conflict_limit,
+            "status": outcome.final_status,
+            "ii": outcome.ii,
+            "attempts": len(outcome.attempts),
+            "solve_s": round(solve, 4),
+            "encode_s": round(encode, 4),
+            "conflicts": conflicts,
+            "propagations": propagations,
+            "binary_propagations": sum(
+                getattr(a, "binary_propagations", 0) for a in outcome.attempts
+            ),
+            "blocker_skips": sum(
+                getattr(a, "blocker_skips", 0) for a in outcome.attempts
+            ),
+            "arena_bytes": max(
+                (getattr(a, "arena_bytes", 0) for a in outcome.attempts), default=0
+            ),
+        }
+        runs.append((wall, record))
+    # Keep the run whose wall time is the median, so every reported stat
+    # (solve time, conflicts, ...) comes from one coherent run.
+    runs.sort(key=lambda entry: entry[0])
+    median_wall, record = runs[len(runs) // 2]
+    record["wall_s"] = round(median_wall, 4)
+    record["wall_runs_s"] = [round(w, 4) for w, _ in runs]
+    record["propagations_per_s"] = (
+        round(record["propagations"] / record["solve_s"]) if record["solve_s"] else 0
+    )
+    return record
+
+
+def run_suite(
+    suite: str = "default", repeats: int = 3, progress: bool = False
+) -> dict:
+    """Run a pinned suite and return the full benchmark document."""
+    try:
+        cases = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench suite {suite!r}; available: {sorted(SUITES)}"
+        ) from None
+    records = []
+    for case in cases:
+        record = run_case(case, repeats=repeats)
+        records.append(record)
+        if progress:
+            print(
+                f"  {record['name']:22s} wall={record['wall_s']:8.3f}s "
+                f"solve={record['solve_s']:8.3f}s encode={record['encode_s']:6.3f}s "
+                f"conflicts={record['conflicts']:6d} "
+                f"props/s={record['propagations_per_s']}",
+                flush=True,
+            )
+    total_wall = sum(r["wall_s"] for r in records)
+    total_solve = sum(r["solve_s"] for r in records)
+    total_props = sum(r["propagations"] for r in records)
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "seed": BENCH_SEED,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cases": records,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "solve_s": round(total_solve, 4),
+            "encode_s": round(sum(r["encode_s"] for r in records), 4),
+            "conflicts": sum(r["conflicts"] for r in records),
+            "propagations": total_props,
+            "propagations_per_s": (
+                round(total_props / total_solve) if total_solve else 0
+            ),
+        },
+    }
+
+
+def write_results(results: dict, path: str = DEFAULT_OUTPUT) -> None:
+    """Write the benchmark document as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(results, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+
+
+def load_results(path: str) -> dict:
+    """Read a benchmark document, validating the schema tag."""
+    with open(path, encoding="utf-8") as stream:
+        data = json.load(stream)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unexpected schema {data.get('schema')!r} (want {SCHEMA!r})"
+        )
+    return data
+
+
+def compare(
+    baseline: dict, current: dict, max_slowdown: float = 3.0
+) -> tuple[bool, list[str]]:
+    """CI gate: fail only on gross per-case slowdown vs the baseline.
+
+    Returns ``(ok, report_lines)``.  A case missing from either document is
+    reported but never fails the gate (the pinned suite may grow); an II
+    mismatch on a shared case *does* fail — faster-but-wrong is a regression.
+    """
+    lines: list[str] = []
+    ok = True
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    for entry in current.get("cases", []):
+        name = entry["name"]
+        base = base_cases.get(name)
+        if base is None:
+            lines.append(f"{name}: new case (no baseline)")
+            continue
+        if not entry.get("bounded") and base.get("ii") != entry.get("ii"):
+            # Completing cases are configured so the II is a pure formula
+            # property — a change is a correctness regression.  Bounded
+            # throughput probes are exempt: a lucky trajectory may conclude
+            # inside the conflict budget, which is not a defect.
+            ok = False
+            lines.append(
+                f"{name}: II changed {base.get('ii')} -> {entry.get('ii')} (FAIL)"
+            )
+            continue
+        base_wall = base.get("wall_s") or 0.0
+        wall = entry.get("wall_s") or 0.0
+        if base_wall <= 0:
+            lines.append(f"{name}: baseline wall time missing, skipped")
+            continue
+        ratio = wall / base_wall
+        if base_wall < MIN_GATE_WALL_S:
+            lines.append(
+                f"{name}: {base_wall:.3f}s -> {wall:.3f}s ({ratio:.2f}x) "
+                "informational (below gate floor)"
+            )
+            continue
+        verdict = "ok"
+        if ratio > max_slowdown:
+            ok = False
+            verdict = f"FAIL (> {max_slowdown:.1f}x)"
+        elif ratio < 1.0:
+            verdict = f"{1 / ratio:.2f}x faster"
+        lines.append(
+            f"{name}: {base_wall:.3f}s -> {wall:.3f}s ({ratio:.2f}x) {verdict}"
+        )
+    for name in base_cases:
+        if name not in {c["name"] for c in current.get("cases", [])}:
+            lines.append(f"{name}: missing from current run")
+    return ok, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point shared by ``repro bench`` and ``benchmarks/perf_harness.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="perf_harness",
+        description="Run the pinned SAT-MapIt performance suite",
+    )
+    parser.add_argument("--suite", choices=sorted(SUITES), default="default")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per case; the median wall time is kept")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="compare against a previous BENCH_solver.json and "
+                             "fail on gross slowdown")
+    parser.add_argument("--max-slowdown", type=float, default=3.0,
+                        help="per-case wall-time ratio that fails the "
+                             "--baseline gate (default: 3.0)")
+    args = parser.parse_args(argv)
+
+    print(f"perf harness: suite={args.suite} repeats={args.repeats} "
+          f"seed={BENCH_SEED}")
+    results = run_suite(args.suite, repeats=args.repeats, progress=True)
+    totals = results["totals"]
+    print(f"totals: wall={totals['wall_s']:.3f}s solve={totals['solve_s']:.3f}s "
+          f"encode={totals['encode_s']:.3f}s "
+          f"props/s={totals['propagations_per_s']}")
+    write_results(results, args.out)
+    print(f"results written to {args.out}")
+
+    if args.baseline:
+        baseline = load_results(args.baseline)
+        ok, lines = compare(baseline, results, max_slowdown=args.max_slowdown)
+        print(f"\nbaseline comparison ({args.baseline}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("perf gate FAILED", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+    return 0

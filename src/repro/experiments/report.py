@@ -66,6 +66,22 @@ def solver_reuse_totals(sweep: SweepResult) -> tuple[int, int]:
     return resolves, carried
 
 
+def flat_core_totals(sweep: SweepResult) -> tuple[int, int, int, int, int]:
+    """Aggregate flat-arena solver-core counters over the SAT-MapIt runs.
+
+    Returns ``(binary_propagations, blocker_skips, peak_arena_bytes,
+    emission_batches, duplicate_clauses_dropped)``.
+    """
+    records = [entry for entry in sweep.records if entry.mapper == SAT_MAPIT]
+    return (
+        sum(entry.binary_propagations for entry in records),
+        sum(entry.blocker_skips for entry in records),
+        max((entry.arena_bytes for entry in records), default=0),
+        sum(entry.emission_batches for entry in records),
+        sum(entry.duplicate_clauses_dropped for entry in records),
+    )
+
+
 def _markdown_figure6(sweep: SweepResult, size: int) -> list[str]:
     lines = [
         f"### Figure 6 — achieved II on the {size}x{size} CGRA",
@@ -165,6 +181,7 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
     config = sweep.config
     wins, total, fraction = headline_winrate(sweep)
     resolves, carried = solver_reuse_totals(sweep)
+    bin_props, blocker_skips, arena_bytes, batches, dups = flat_core_totals(sweep)
     pre_clauses, pre_vars, pre_seconds = preprocess_totals(sweep)
     lines = [f"# {options.title}", ""]
     if options.include_expectations:
@@ -195,6 +212,16 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             f"**{resolves}**",
             f"* learned clauses carried across (II, slack) attempts: "
             f"**{carried}**",
+            "",
+            "## Flat-arena solver core",
+            "",
+            f"* implications served by binary/ternary implication lists: "
+            f"**{bin_props}**",
+            f"* watch entries dismissed by blocker literals: "
+            f"**{blocker_skips}**",
+            f"* peak clause-store footprint: **{arena_bytes}** bytes",
+            f"* batched emission flushes: **{batches}** "
+            f"(duplicate clauses dropped at the emitter: **{dups}**)",
             "",
         ]
     )

@@ -72,7 +72,7 @@ class ExperimentConfig:
     #: Solver backend for the SAT-MapIt runs (see :mod:`repro.sat.backend`).
     backend: str = "cdcl"
     #: At-most-one encoding used by the SAT-MapIt CNF construction.
-    amo_encoding: AMOEncoding = AMOEncoding.SEQUENTIAL
+    amo_encoding: AMOEncoding = AMOEncoding.AUTO
     #: Run the SatELite-style CNF preprocessor before every SAT-MapIt solve
     #: (see :mod:`repro.sat.preprocess`); the ablation tables report the
     #: clause/variable reduction it buys per run.
@@ -113,6 +113,16 @@ class RunRecord:
     pre_clauses_removed: int = 0
     pre_vars_eliminated: int = 0
     preprocess_time: float = 0.0
+    #: Flat-core solver counters (SAT-MapIt only): implications served by
+    #: the binary/ternary implication lists, watch entries dismissed by
+    #: their blocker literal, and the peak flat clause-store footprint.
+    binary_propagations: int = 0
+    blocker_skips: int = 0
+    arena_bytes: int = 0
+    #: Batched-emission metrics: bulk flushes the encoder pushed into the
+    #: solver and exact duplicate clauses its hashed dedup dropped.
+    emission_batches: int = 0
+    duplicate_clauses_dropped: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -232,6 +242,11 @@ def run_single(
         pre_clauses_removed=outcome.pre_clauses_removed,
         pre_vars_eliminated=outcome.pre_vars_eliminated,
         preprocess_time=outcome.preprocess_time,
+        binary_propagations=getattr(outcome, "binary_propagations", 0),
+        blocker_skips=getattr(outcome, "blocker_skips", 0),
+        arena_bytes=getattr(outcome, "arena_bytes", 0),
+        emission_batches=getattr(outcome, "emission_batches", 0),
+        duplicate_clauses_dropped=getattr(outcome, "duplicate_clauses_dropped", 0),
     )
 
 

@@ -82,7 +82,16 @@ class SolverBackend(Protocol):
 
     def new_var(self) -> int: ...
 
+    def new_vars(self, count: int) -> list[int]: ...
+
     def add_clause(self, literals: Sequence[int]) -> None: ...
+
+    def add_clauses(
+        self,
+        clauses: Iterable[Sequence[int]],
+        trusted: bool = False,
+        guard: int | None = None,
+    ) -> None: ...
 
     def freeze(self, variables: Iterable[int]) -> None: ...
 
@@ -94,6 +103,7 @@ class SolverBackend(Protocol):
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
         time_limit: float | None = None,
+        model_vars: Iterable[int] | None = None,
     ) -> SolverResult: ...
 
 
@@ -114,9 +124,32 @@ class CDCLBackend:
         self.stats.variables_added += 1
         return self._solver.new_var()
 
+    def new_vars(self, count: int) -> list[int]:
+        """Bulk variable allocation (one extend per per-variable array)."""
+        self.stats.variables_added += count
+        return self._solver.new_vars(count)
+
     def add_clause(self, literals: Sequence[int]) -> None:
         self.stats.clauses_added += 1
         self._solver.add_clause(literals)
+
+    def add_clauses(
+        self,
+        clauses: Iterable[Sequence[int]],
+        trusted: bool = False,
+        guard: int | None = None,
+    ) -> None:
+        """Bulk clause ingestion (single backtrack, batched propagation).
+
+        ``trusted`` promises intra-clause hygiene (no zero/duplicate/
+        complementary literals) and lets the solver skip those checks;
+        ``guard`` names the batch's shared selector-guard literal so
+        guard-tailed ternary clauses reach the solver's guard-aware
+        implication lists.
+        """
+        before = self._solver.clauses_added
+        self._solver.add_clauses(clauses, trusted=trusted, guard=guard)
+        self.stats.clauses_added += self._solver.clauses_added - before
 
     def freeze(self, variables: Iterable[int]) -> None:
         """No-op: this engine never eliminates variables."""
@@ -130,11 +163,13 @@ class CDCLBackend:
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
         time_limit: float | None = None,
+        model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
         result = self._solver.solve(
             assumptions=assumptions,
             conflict_limit=conflict_limit,
             time_limit=time_limit,
+            model_vars=model_vars,
         )
         call = result.stats
         self.stats.solve_calls += 1
@@ -171,9 +206,24 @@ class DPLLBackend:
         self.stats.variables_added += 1
         return self._cnf.new_var()
 
+    def new_vars(self, count: int) -> list[int]:
+        self.stats.variables_added += count
+        return self._cnf.new_vars(count)
+
     def add_clause(self, literals: Sequence[int]) -> None:
         self.stats.clauses_added += 1
         self._cnf.add_clause(literals)
+
+    def add_clauses(
+        self,
+        clauses: Iterable[Sequence[int]],
+        trusted: bool = False,
+        guard: int | None = None,
+    ) -> None:
+        # ``trusted``/``guard`` are accepted for interface parity; the CNF
+        # container's own (cheap) validation always runs.
+        for clause in clauses:
+            self.add_clause(clause)
 
     def freeze(self, variables: Iterable[int]) -> None:
         """No-op: this engine never eliminates variables."""
@@ -187,6 +237,7 @@ class DPLLBackend:
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
         time_limit: float | None = None,
+        model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
         start = time.perf_counter()
         solver = DPLLSolver(max_decisions=conflict_limit)
@@ -199,6 +250,8 @@ class DPLLBackend:
             status, model = "UNKNOWN", None
         else:
             status = "SAT" if model is not None else "UNSAT"
+        if model is not None and model_vars is not None:
+            model = {var: model.get(var, False) for var in model_vars}
         stats.decisions = solver.decisions
         stats.solve_time = time.perf_counter() - start
         self.stats.solve_calls += 1

@@ -117,8 +117,18 @@ class CNF:
             self._seen.add(key)
         self._clauses.append(tuple(out))
 
-    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
-        """Add several clauses."""
+    def add_clauses(
+        self,
+        clauses: Iterable[Sequence[int]],
+        trusted: bool = False,
+        guard: int | None = None,
+    ) -> None:
+        """Add several clauses.
+
+        ``trusted`` and ``guard`` are part of the shared bulk-ingestion
+        interface (see :class:`repro.sat.backend.SolverBackend`); the CNF
+        container's own validation is cheap and always runs.
+        """
         for clause in clauses:
             self.add_clause(clause)
 

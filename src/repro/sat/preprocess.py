@@ -636,6 +636,13 @@ class PreprocessingBackend:
         self._reconstructor.grow(var)
         return var
 
+    def new_vars(self, count: int) -> list[int]:
+        self.stats.variables_added += count
+        variables = self._inner.new_vars(count)
+        if variables:
+            self._reconstructor.grow(variables[-1])
+        return variables
+
     def add_clause(self, literals: Sequence[int]) -> None:
         clause = list(literals)
         for lit in clause:
@@ -648,14 +655,29 @@ class PreprocessingBackend:
         self.stats.clauses_added += 1
         self._pending.append(clause)
 
+    def add_clauses(
+        self,
+        clauses: Iterable[Sequence[int]],
+        trusted: bool = False,
+        guard: int | None = None,
+    ) -> None:
+        # ``trusted``/``guard`` are accepted for interface parity; the
+        # simplifier's ingest re-checks clause hygiene regardless, and the
+        # guard-aware routing only exists inside the CDCL engine.
+        for clause in clauses:
+            self.add_clause(clause)
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
         time_limit: float | None = None,
+        model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
         self.freeze(abs(lit) for lit in assumptions)
         self._flush()
+        # The inner model is never projected here: reconstruction replays
+        # eliminated variables against the *full* simplified-formula model.
         result = self._inner.solve(
             assumptions=assumptions,
             conflict_limit=conflict_limit,
@@ -670,9 +692,10 @@ class PreprocessingBackend:
         self.stats.solve_time += call.solve_time
         self.stats.learned_in_db = self._inner.stats.learned_in_db
         if result.model is not None:
-            return SolverResult(
-                result.status, self._reconstructor.extend(result.model), call
-            )
+            model = self._reconstructor.extend(result.model)
+            if model_vars is not None:
+                model = {var: model.get(var, False) for var in model_vars}
+            return SolverResult(result.status, model, call)
         return result
 
     # -- frozen-variable API --------------------------------------------
@@ -720,8 +743,7 @@ class PreprocessingBackend:
         )
         simplifier.ingest(pending)
         simplifier.run()
-        for clause in simplifier.live_clauses():
-            self._inner.add_clause(clause)
+        self._inner.add_clauses(simplifier.live_clauses())
         self.preprocess_stats.merge(simplifier.finalize_stats())
         for clause in pending:
             for lit in clause:

@@ -24,7 +24,7 @@ class TestParser:
         assert args.jobs == 1
         assert args.backend == "cdcl"
         assert args.seed is None
-        assert args.amo_encoding == "sequential"
+        assert args.amo_encoding == "auto"
 
     def test_solver_flags_plumbed(self):
         args = build_parser().parse_args(
