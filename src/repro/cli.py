@@ -32,7 +32,12 @@ from repro.experiments.perf import (
     main as perf_main,
 )
 from repro.experiments.report import write_markdown_report
-from repro.experiments.runner import SCENARIOS, ExperimentConfig, run_sweep
+from repro.experiments.runner import (
+    SAT_MAPIT,
+    SCENARIOS,
+    ExperimentConfig,
+    run_sweep,
+)
 from repro.experiments.tables import (
     render_figure6,
     render_headline,
@@ -44,6 +49,8 @@ from repro.frontend import compile_loop
 from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
 from repro.sat.backend import available_backends
 from repro.sat.encodings import AMOEncoding
+from repro.search import available_strategies
+from repro.search.portfolio import PORTFOLIO_VARIANTS
 
 
 def _load_dfg(args: argparse.Namespace):
@@ -75,16 +82,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
     except ArchitectureError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    mapper = SatMapItMapper(
-        MapperConfig(
-            timeout=args.timeout,
-            verbose=args.verbose,
-            backend=args.backend,
-            amo_encoding=AMOEncoding(args.amo_encoding),
-            preprocess=args.preprocess == "on",
-            random_seed=args.seed,
-        )
+    config_fields = dict(
+        timeout=args.timeout,
+        verbose=args.verbose,
+        backend=args.backend,
+        amo_encoding=AMOEncoding(args.amo_encoding),
+        preprocess=args.preprocess == "on",
+        random_seed=args.seed,
+        search=args.search,
+        search_jobs=args.jobs,
+        cache_dir=args.cache,
     )
+    if args.portfolio_variants:
+        config_fields["portfolio_variants"] = tuple(args.portfolio_variants)
+    mapper = SatMapItMapper(MapperConfig(**config_fields))
     profiler = None
     if args.profile:
         import cProfile
@@ -109,6 +120,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
             ).print_stats(25)
             print(buffer.getvalue())
     print(outcome.summary())
+    if outcome.search_strategy == "portfolio" and not outcome.cache_hit:
+        winner = (
+            f", winning variant: {outcome.portfolio_winner}"
+            if outcome.portfolio_winner
+            else ""
+        )
+        print(
+            f"portfolio: {outcome.portfolio_launched} worker(s) launched, "
+            f"{outcome.portfolio_cancelled} cancelled{winner}"
+        )
+    if outcome.cache_stats is not None:
+        verdict = "hit" if outcome.cache_hit else "miss"
+        key = (outcome.cache_key or "")[:12]
+        print(f"cache: {verdict} [{key}…] — {outcome.cache_stats.summary()}")
     if args.preprocess == "on":
         print(
             f"preprocessing: -{outcome.pre_clauses_removed} clauses, "
@@ -138,6 +163,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         preprocess=args.preprocess == "on",
         seed=args.seed,
         scenarios=tuple(args.scenarios),
+        search=args.search,
+        cache_dir=args.cache,
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
           f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
@@ -145,6 +172,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              if len(config.scenarios) > 1 else "")
           + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else ""))
     sweep = run_sweep(config, progress=True, jobs=args.jobs)
+    if config.cache_dir:
+        hits = sum(1 for r in sweep.records if r.cache_hit)
+        sat_runs = sum(1 for r in sweep.records if r.mapper == SAT_MAPIT)
+        print(f"\nmapping cache: {hits}/{sat_runs} SAT-MapIt runs served "
+              f"from {config.cache_dir}")
     print()
     print(render_headline(sweep))
     for size in config.sizes:
@@ -232,6 +264,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SatELite-style CNF simplification before "
                               "solving, with model reconstruction "
                               "(default: off)")
+    map_cmd.add_argument("--search", choices=available_strategies(),
+                         default="ladder",
+                         help="II search strategy: the paper's sequential "
+                              "ladder, bisection with UNSAT lower bounds, "
+                              "or a process-parallel portfolio "
+                              "(default: ladder)")
+    map_cmd.add_argument("--jobs", type=int, default=2,
+                         help="worker processes for --search portfolio "
+                              "(default: 2)")
+    map_cmd.add_argument("--portfolio-variants", nargs="+",
+                         choices=sorted(PORTFOLIO_VARIANTS),
+                         help="solver-configuration variants the portfolio "
+                              "races at each II (default: no-probe, "
+                              "default, pairwise — trimmed to the core "
+                              "count)")
+    map_cmd.add_argument("--cache", metavar="DIR",
+                         help="persistent mapping-cache directory: "
+                              "successful runs are stored keyed by "
+                              "(DFG, fabric, config, solver version) and "
+                              "identical future runs return instantly")
     map_cmd.add_argument("--profile", action="store_true",
                          help="run under cProfile and print the top "
                               "cumulative functions after the mapping")
@@ -263,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
                            default=["homogeneous"],
                            help="architecture scenarios to sweep "
                                 "(default: homogeneous)")
+    sweep_cmd.add_argument("--search", choices=available_strategies(),
+                           default="ladder",
+                           help="II search strategy for the SAT-MapIt runs "
+                                "(default: ladder)")
+    sweep_cmd.add_argument("--cache", metavar="DIR",
+                           help="persistent mapping-cache directory shared "
+                                "by all SAT-MapIt runs of the sweep (reused "
+                                "across scenarios and repeat sweeps)")
     sweep_cmd.add_argument("--write-report", metavar="PATH",
                            help="write EXPERIMENTS-style Markdown report to PATH")
     sweep_cmd.set_defaults(func=_cmd_sweep)

@@ -2,9 +2,13 @@
 
 For a candidate II the driver builds the KMS, encodes the mapping problem,
 calls the SAT backend, and — on SAT — runs register allocation.  If the
-formula is UNSAT or the colouring fails, the II is incremented and the whole
-process repeats, until a mapping is found or a bound (maximum II, wall-clock
-timeout) is hit.
+formula is UNSAT or the colouring fails, the search moves to another II,
+until a mapping is found or a bound (maximum II, wall-clock timeout) is
+hit.  *Which* II is tried next is a pluggable policy: ``map()`` delegates
+the walk to a :mod:`repro.search` strategy (the paper's sequential ladder
+by default; bisection and a process-parallel portfolio on request) and can
+short-circuit the whole search through the persistent mapping cache
+(``MapperConfig.cache_dir``).
 
 The loop is *incremental* by default: one persistent solver backend serves
 the whole mapping run.  Each (II, slack) attempt encodes its constraint group
@@ -33,7 +37,7 @@ from repro.core.regalloc import RegisterAllocation, allocate_registers
 from repro.dfg.analysis import critical_path_length
 from repro.dfg.graph import DFG
 from repro.exceptions import MappingError
-from repro.sat.backend import SolverBackend, create_backend
+from repro.sat.backend import SolverBackend
 from repro.sat.encodings import AMOEncoding
 from repro.sat.preprocess import Reconstructor, simplify
 from repro.sat.solver import CDCLSolver
@@ -110,6 +114,24 @@ class MapperConfig:
     solver_conflict_limit: int | None = None
     random_seed: int | None = None
     verbose: bool = False
+    #: II-search strategy (see :mod:`repro.search`): ``"ladder"`` is the
+    #: paper's sequential climb, ``"bisect"`` binary-searches the II range
+    #: using UNSAT answers as lower bounds, and ``"portfolio"`` races
+    #: several IIs and solver-configuration variants across worker
+    #: processes, cancelling the losers on the first win at the frontier.
+    search: str = "ladder"
+    #: Worker processes the portfolio strategy may keep in flight.
+    search_jobs: int = 2
+    #: Solver-configuration variants the portfolio races at each II (names
+    #: from :data:`repro.search.portfolio.PORTFOLIO_VARIANTS`; the strategy
+    #: trims the line-up to the machine's core count, keeping the order).
+    portfolio_variants: tuple[str, ...] = ("no-probe", "default", "pairwise")
+    #: Directory of the persistent mapping cache
+    #: (:class:`repro.search.cache.MappingCache`); ``None`` disables
+    #: caching.  Successful runs are stored keyed by a canonical hash of
+    #: (DFG, CGRA spec, semantic config, solver version) and later runs of
+    #: the same problem return instantly with ``MappingOutcome.cache_hit``.
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -191,6 +213,23 @@ class MappingOutcome:
     timed_out: bool = False
     #: Name of the solver backend that served the run.
     backend_name: str = "cdcl"
+    #: Name of the search strategy that drove the II search.
+    search_strategy: str = "ladder"
+    #: Whether the result was served by the persistent mapping cache (in
+    #: which case ``attempts`` is empty — no SAT work was done).
+    cache_hit: bool = False
+    #: Canonical cache key of this problem (``None`` when caching is off).
+    cache_key: str | None = None
+    #: Per-run cache counters (:class:`repro.search.cache.CacheStats`);
+    #: ``None`` when caching is off.
+    cache_stats: object | None = None
+    #: Portfolio-strategy counters: worker processes launched, and workers
+    #: cancelled because a rival answered first.
+    portfolio_launched: int = 0
+    portfolio_cancelled: int = 0
+    #: Configuration variant that produced the winning mapping (portfolio
+    #: runs only).
+    portfolio_winner: str | None = None
 
     @property
     def incremental_resolves(self) -> int:
@@ -257,10 +296,11 @@ class MappingOutcome:
     def summary(self) -> str:
         """One-line summary used by the CLI and the experiment harness."""
         if self.success:
+            cached = ", cached" if self.cache_hit else ""
             return (
                 f"{self.dfg_name} on {self.cgra_name}: II={self.ii} "
                 f"(MII={self.minimum_ii}, {len(self.attempts)} attempts, "
-                f"{self.total_time:.2f}s)"
+                f"{self.total_time:.2f}s{cached})"
             )
         return (
             f"{self.dfg_name} on {self.cgra_name}: {self.final_status} after "
@@ -282,11 +322,21 @@ class SatMapItMapper:
 
         The search starts at the minimum initiation interval (max of ResMII,
         RecMII and — on heterogeneous fabrics — the capability-constrained
-        resource bound) unless ``start_ii`` overrides it, and increments the
-        II on UNSAT answers or register-allocation failures.  A kernel whose
-        opcode histogram cannot fit the fabric at any II (an op class with no
-        capable PE) raises :class:`MappingError` before any SAT work.
+        resource bound) unless ``start_ii`` overrides it.  *How* the II range
+        is walked is delegated to the configured search strategy (see
+        :mod:`repro.search`): the sequential ladder by default, bisection or
+        a parallel portfolio on request — every strategy funnels its
+        attempts through the same per-II machinery, so the outcome's
+        per-attempt stats are complete regardless of the policy.  With
+        ``MapperConfig.cache_dir`` set, the persistent mapping cache is
+        consulted first and fed on success.  A kernel whose opcode histogram
+        cannot fit the fabric at any II (an op class with no capable PE)
+        raises :class:`MappingError` before any SAT work.
         """
+        # Imported lazily: repro.search imports mapper types at module load.
+        from repro.search import SearchContext, create_strategy
+        from repro.search.cache import MappingCache
+
         config = self.config
         dfg.validate()
         check_kernel_fits(dfg, cgra)
@@ -296,33 +346,63 @@ class SatMapItMapper:
         backend_name = config.backend
         if config.preprocess and not backend_name.endswith("+preprocess"):
             backend_name = f"{backend_name}+preprocess"
+        strategy = create_strategy(config.search)
         outcome = MappingOutcome(
             success=False,
             dfg_name=dfg.name,
             cgra_name=cgra.name,
             minimum_ii=mii,
             backend_name=backend_name,
+            search_strategy=strategy.name,
         )
-        # One persistent backend serves the whole run: learned clauses,
-        # activities and phases survive every II bump and slack escalation.
-        backend: SolverBackend | None = None
-        if config.incremental:
-            backend = create_backend(backend_name, random_seed=config.random_seed)
 
-        for ii in range(first_ii, config.max_ii + 1):
-            if self._out_of_time(start):
-                outcome.timed_out = True
-                break
-            found = self._try_ii(dfg, cgra, ii, outcome, start, backend)
-            if found is not None:
-                mapping, allocation = found
+        cache: MappingCache | None = None
+        key: str | None = None
+        if config.cache_dir:
+            cache = MappingCache(config.cache_dir)
+            key = cache.key(dfg, cgra, config, start_ii=first_ii)
+            outcome.cache_key = key
+            outcome.cache_stats = cache.stats
+            hit = cache.lookup_key(key)
+            if hit is not None:
                 outcome.success = True
-                outcome.ii = ii
-                outcome.mapping = mapping
-                outcome.register_allocation = allocation
-                break
+                outcome.cache_hit = True
+                outcome.ii = hit.ii
+                outcome.minimum_ii = hit.minimum_ii
+                outcome.mapping = hit.mapping
+                if config.run_register_allocation:
+                    # The archived mapping carries its register assignment,
+                    # but the report-facing RegisterAllocation object (max
+                    # pressure, per-PE usage) is cheap to recompute — a hit
+                    # must print the same sections a fresh run would.
+                    allocation = allocate_registers(
+                        dfg, cgra, hit.mapping,
+                        config.neighbour_register_file_access,
+                    )
+                    if allocation.success:
+                        hit.mapping.apply_allocation(allocation)
+                        outcome.register_allocation = allocation
+                outcome.total_time = time.perf_counter() - start
+                self._log(
+                    f"cache hit for {dfg.name} on {cgra.name}: "
+                    f"II={hit.ii} ({key[:12]}…)"
+                )
+                return outcome
 
+        context = SearchContext(self, dfg, cgra, outcome, start, first_ii)
+        found = strategy.search(context)
         outcome.total_time = time.perf_counter() - start
+        if found is not None:
+            outcome.success = True
+            outcome.ii = found.ii
+            outcome.mapping = found.mapping
+            outcome.register_allocation = found.allocation
+            # A timed-out search may have returned an anytime (feasible but
+            # possibly non-minimal) II; the cache key ignores budgets, so
+            # caching it would pin the weaker answer for generously-budgeted
+            # future runs too.  Only complete searches are stored.
+            if cache is not None and key is not None and not outcome.timed_out:
+                cache.store(key, outcome)
         return outcome
 
     # ------------------------------------------------------------------

@@ -50,7 +50,10 @@ class BenchCase:
 
     ``conflict_limit`` turns the case into a bounded-workload throughput
     probe: the mapper runs a single (II = MII, slack 0) attempt for exactly
-    that many conflicts and stops.
+    that many conflicts and stops.  ``search`` / ``jobs`` select the II
+    search strategy (``"portfolio"`` cases measure the orchestrator's
+    wall-clock win over their same-kernel ladder twin, which ``run_suite``
+    annotates as ``speedup_vs_ladder``).
     """
 
     name: str
@@ -58,6 +61,8 @@ class BenchCase:
     size: int
     conflict_limit: int | None = None
     timeout: float = 120.0
+    search: str = "ladder"
+    jobs: int = 1
 
     @property
     def bounded(self) -> bool:
@@ -76,6 +81,15 @@ PINNED_SUITE: tuple[BenchCase, ...] = (
     BenchCase("gsm@2x2", "gsm", 2),
     BenchCase("backprop@3x3", "backprop", 3),
     BenchCase("gsm@4x4", "gsm", 4, timeout=300.0),
+    # Multi-attempt kernels (a hard UNSAT/slack rung before the final SAT)
+    # twice each: the sequential ladder, then the parallel portfolio racing
+    # the same II range — the pair records the orchestrator's wall-clock win.
+    BenchCase("hotspot@4x4", "hotspot", 4, timeout=300.0),
+    BenchCase("hotspot@4x4!portfolio2", "hotspot", 4, timeout=300.0,
+              search="portfolio", jobs=2),
+    BenchCase("nw@4x4", "nw", 4, timeout=300.0),
+    BenchCase("nw@4x4!portfolio2", "nw", 4, timeout=300.0,
+              search="portfolio", jobs=2),
     BenchCase("sha@2x2#c1500", "sha", 2, conflict_limit=1500),
     BenchCase("sha2@2x2#c1500", "sha2", 2, conflict_limit=1500),
     BenchCase("patricia@3x3#c1500", "patricia", 3, conflict_limit=1500),
@@ -136,12 +150,18 @@ def _case_config(case: BenchCase, dfg, cgra: CGRA) -> tuple[MapperConfig, int | 
             options["amo_probe_conflicts"] = None
         config = MapperConfig(**options)
         return config, mii
-    config = MapperConfig(
+    options = dict(
         timeout=case.timeout,
         slack_conflict_limit=None,
         run_register_allocation=False,
         random_seed=BENCH_SEED,
     )
+    if "search" in MapperConfig.__dataclass_fields__:
+        # Strategy cases need the search layer; the guard keeps the harness
+        # runnable against historical trees that predate it.
+        options["search"] = case.search
+        options["search_jobs"] = case.jobs
+    config = MapperConfig(**options)
     return config, None
 
 
@@ -167,6 +187,7 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict:
             "size": case.size,
             "bounded": case.bounded,
             "conflict_limit": case.conflict_limit,
+            "search": case.search,
             "status": outcome.final_status,
             "ii": outcome.ii,
             "attempts": len(outcome.attempts),
@@ -219,6 +240,19 @@ def run_suite(
                 f"props/s={record['propagations_per_s']}",
                 flush=True,
             )
+    # Annotate every non-ladder case with its wall-clock ratio against the
+    # same (kernel, size) ladder twin — the portfolio's headline number.
+    ladder_walls = {
+        (r["kernel"], r["size"]): r["wall_s"]
+        for r in records
+        if r.get("search", "ladder") == "ladder" and not r["bounded"]
+    }
+    for record in records:
+        if record.get("search", "ladder") == "ladder" or record["bounded"]:
+            continue
+        twin_wall = ladder_walls.get((record["kernel"], record["size"]))
+        if twin_wall and record["wall_s"]:
+            record["speedup_vs_ladder"] = round(twin_wall / record["wall_s"], 2)
     total_wall = sum(r["wall_s"] for r in records)
     total_solve = sum(r["solve_s"] for r in records)
     total_props = sum(r["propagations"] for r in records)
@@ -264,11 +298,14 @@ def load_results(path: str) -> dict:
 def compare(
     baseline: dict, current: dict, max_slowdown: float = 3.0
 ) -> tuple[bool, list[str]]:
-    """CI gate: fail only on gross per-case slowdown vs the baseline.
+    """CI gate: fail on gross per-case slowdown or coverage loss vs baseline.
 
-    Returns ``(ok, report_lines)``.  A case missing from either document is
-    reported but never fails the gate (the pinned suite may grow); an II
-    mismatch on a shared case *does* fail — faster-but-wrong is a regression.
+    Returns ``(ok, report_lines)``.  A case present only in the *current*
+    run is reported but never fails the gate (the pinned suite may grow);
+    a baseline case **missing from the current run is a hard failure** —
+    otherwise deleting or renaming cases would silently shrink what the
+    perf gate protects.  An II mismatch on a shared completing case also
+    fails: faster-but-wrong is a regression.
     """
     lines: list[str] = []
     ok = True
@@ -310,9 +347,66 @@ def compare(
         lines.append(
             f"{name}: {base_wall:.3f}s -> {wall:.3f}s ({ratio:.2f}x) {verdict}"
         )
+    current_names = {c["name"] for c in current.get("cases", [])}
     for name in base_cases:
-        if name not in {c["name"] for c in current.get("cases", [])}:
-            lines.append(f"{name}: missing from current run")
+        if name not in current_names:
+            ok = False
+            lines.append(f"{name}: missing from current run (FAIL)")
+    return ok, lines
+
+
+def check_strategy_equivalence(
+    suite: str = "default",
+    progress: bool = False,
+    reference_doc: dict | None = None,
+) -> tuple[bool, list[str]]:
+    """CI gate: bisect and portfolio must match the ladder's II everywhere.
+
+    Every completing (non-bounded) ladder case of the suite is run once
+    under each alternative strategy; its achieved II and final status must
+    equal the ladder's.  The suite's completing cases are configured so the
+    II is a formula property (decisive attempts, no regalloc post-pass) —
+    any divergence is an orchestration bug, not noise.  ``reference_doc``
+    (a document from :func:`run_suite`) supplies the ladder answers without
+    re-solving them; missing cases fall back to a fresh reference run.
+    """
+    from dataclasses import replace as dc_replace
+
+    cases = [
+        case
+        for case in SUITES[suite]
+        if not case.bounded and case.search == "ladder"
+    ]
+    references = {
+        record["name"]: record
+        for record in (reference_doc or {}).get("cases", [])
+    }
+    lines: list[str] = []
+    ok = True
+    for case in cases:
+        reference = references.get(case.name) or run_case(case, repeats=1)
+        for strategy in ("bisect", "portfolio"):
+            variant = dc_replace(
+                case,
+                name=f"{case.name}!{strategy}",
+                search=strategy,
+                jobs=2 if strategy == "portfolio" else 1,
+            )
+            result = run_case(variant, repeats=1)
+            same = (
+                result["ii"] == reference["ii"]
+                and result["status"] == reference["status"]
+            )
+            verdict = "ok" if same else "FAIL"
+            if not same:
+                ok = False
+            line = (
+                f"{case.name}: ladder II={reference['ii']} "
+                f"{strategy} II={result['ii']} ({verdict})"
+            )
+            lines.append(line)
+            if progress:
+                print(f"  {line}", flush=True)
     return ok, lines
 
 
@@ -335,6 +429,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-slowdown", type=float, default=3.0,
                         help="per-case wall-time ratio that fails the "
                              "--baseline gate (default: 3.0)")
+    parser.add_argument("--check-strategies", action="store_true",
+                        help="re-run every completing case under the bisect "
+                             "and portfolio strategies and fail on any II "
+                             "divergence from the ladder")
     args = parser.parse_args(argv)
 
     print(f"perf harness: suite={args.suite} repeats={args.repeats} "
@@ -357,4 +455,14 @@ def main(argv: list[str] | None = None) -> int:
             print("perf gate FAILED", file=sys.stderr)
             return 1
         print("perf gate passed")
+
+    if args.check_strategies:
+        print("\nstrategy equivalence (ladder vs bisect vs portfolio):")
+        ok, _lines = check_strategy_equivalence(
+            args.suite, progress=True, reference_doc=results
+        )
+        if not ok:
+            print("strategy equivalence FAILED", file=sys.stderr)
+            return 1
+        print("strategy equivalence passed")
     return 0

@@ -138,6 +138,29 @@ def _markdown_scenarios(sweep: SweepResult, size: int) -> list[str]:
     return lines
 
 
+def search_cache_totals(sweep: SweepResult) -> tuple[dict[str, int], int, int, int, int]:
+    """Aggregate search-orchestration metrics over the SAT-MapIt runs.
+
+    Returns ``(runs_per_strategy, cache_hits, cache_misses,
+    portfolio_launched, portfolio_cancelled)``; cache misses count only the
+    runs that could have hit (i.e. all SAT-MapIt runs when a cache was
+    configured).
+    """
+    records = [entry for entry in sweep.records if entry.mapper == SAT_MAPIT]
+    strategies: dict[str, int] = {}
+    for entry in records:
+        strategies[entry.search_strategy] = (
+            strategies.get(entry.search_strategy, 0) + 1
+        )
+    hits = sum(1 for entry in records if entry.cache_hit)
+    misses = (
+        len(records) - hits if sweep.config.cache_dir is not None else 0
+    )
+    launched = sum(entry.portfolio_launched for entry in records)
+    cancelled = sum(entry.portfolio_cancelled for entry in records)
+    return strategies, hits, misses, launched, cancelled
+
+
 def preprocess_totals(sweep: SweepResult) -> tuple[int, int, float]:
     """Aggregate CNF-preprocessing yield over the SAT-MapIt runs of a sweep.
 
@@ -183,6 +206,9 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
     resolves, carried = solver_reuse_totals(sweep)
     bin_props, blocker_skips, arena_bytes, batches, dups = flat_core_totals(sweep)
     pre_clauses, pre_vars, pre_seconds = preprocess_totals(sweep)
+    strategies, cache_hits, cache_misses, launched, cancelled = (
+        search_cache_totals(sweep)
+    )
     lines = [f"# {options.title}", ""]
     if options.include_expectations:
         lines.extend([_PAPER_EXPECTATIONS, ""])
@@ -198,6 +224,11 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             f"* architecture scenarios: "
             f"{', '.join(config.scenarios or (HOMOGENEOUS,))}",
             f"* CNF preprocessing: {'on' if config.preprocess else 'off'}",
+            f"* II search strategy: {config.search}"
+            + (f" ({config.search_jobs} workers)"
+               if config.search == "portfolio" else ""),
+            f"* mapping cache: "
+            f"{config.cache_dir if config.cache_dir else 'off'}",
             f"* PathSeeker repeats per case: {config.pathseeker_repeats} (paper: 10)",
             "",
             "## Headline (paper Section V)",
@@ -222,6 +253,17 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             f"* peak clause-store footprint: **{arena_bytes}** bytes",
             f"* batched emission flushes: **{batches}** "
             f"(duplicate clauses dropped at the emitter: **{dups}**)",
+            "",
+            "## II search & mapping cache",
+            "",
+            f"* strategy mix over the SAT-MapIt runs: "
+            + (", ".join(
+                f"**{name}** x{count}" for name, count in sorted(strategies.items())
+            ) or "none"),
+            f"* cache: **{cache_hits}** hit(s), **{cache_misses}** miss(es)"
+            + ("" if config.cache_dir else " (caching off)"),
+            f"* portfolio workers launched / cancelled: "
+            f"**{launched}** / **{cancelled}**",
             "",
         ]
     )

@@ -84,6 +84,15 @@ class ExperimentConfig:
     #: protocol on the corresponding heterogeneous fabric so the II cost of
     #: capability constraints can be tabulated per kernel.
     scenarios: tuple[str, ...] = (HOMOGENEOUS,)
+    #: II-search strategy for the SAT-MapIt runs (see :mod:`repro.search`).
+    search: str = "ladder"
+    #: Worker processes per portfolio search (``search="portfolio"`` only).
+    search_jobs: int = 2
+    #: Persistent mapping-cache directory shared by every SAT-MapIt run of
+    #: the sweep (``None`` disables caching).  Because the cache key ignores
+    #: execution details, re-sweeping the same kernels — or sweeping extra
+    #: scenarios over an already-cached fabric — reuses earlier results.
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -123,6 +132,13 @@ class RunRecord:
     #: solver and exact duplicate clauses its hashed dedup dropped.
     emission_batches: int = 0
     duplicate_clauses_dropped: int = 0
+    #: II-search strategy that served the run (SAT-MapIt only).
+    search_strategy: str = "ladder"
+    #: Whether the persistent mapping cache served the result outright.
+    cache_hit: bool = False
+    #: Portfolio-strategy process counters (zero for other strategies).
+    portfolio_launched: int = 0
+    portfolio_cancelled: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -193,6 +209,9 @@ def build_mapper(name: str, config: ExperimentConfig, seed: int | None = None):
                 amo_encoding=config.amo_encoding,
                 preprocess=config.preprocess,
                 random_seed=config.seed,
+                search=config.search,
+                search_jobs=config.search_jobs,
+                cache_dir=config.cache_dir,
             )
         )
     if name == RAMP:
@@ -247,6 +266,10 @@ def run_single(
         arena_bytes=getattr(outcome, "arena_bytes", 0),
         emission_batches=getattr(outcome, "emission_batches", 0),
         duplicate_clauses_dropped=getattr(outcome, "duplicate_clauses_dropped", 0),
+        search_strategy=getattr(outcome, "search_strategy", "ladder"),
+        cache_hit=getattr(outcome, "cache_hit", False),
+        portfolio_launched=getattr(outcome, "portfolio_launched", 0),
+        portfolio_cancelled=getattr(outcome, "portfolio_cancelled", 0),
     )
 
 
@@ -300,10 +323,12 @@ def run_sweep(
             scenario_tag = (
                 "" if record.scenario == HOMOGENEOUS else f" [{record.scenario}]"
             )
+            cache_tag = " [cache]" if record.cache_hit else ""
             print(
                 f"  {record.kernel:13s} {record.size}x{record.size} "
                 f"{record.mapper:10s} II={ii} "
-                f"({record.status}, {record.mapping_time:.2f}s){scenario_tag}",
+                f"({record.status}, {record.mapping_time:.2f}s)"
+                f"{scenario_tag}{cache_tag}",
                 flush=True,
             )
 

@@ -72,6 +72,13 @@ from collections.abc import Iterable, Sequence
 
 from repro.sat.cnf import CNF
 
+#: Version tag of the solving core.  The persistent mapping cache
+#: (:mod:`repro.search.cache`) folds it into every cache key, so entries
+#: computed by an older engine are invalidated the moment the core's
+#: semantics-affecting behaviour changes.  Bump it whenever a change can
+#: alter *which* mapping (not just how fast) a configuration produces.
+SOLVER_VERSION = "flat-arena-1"
+
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1

@@ -1,0 +1,269 @@
+"""Persistent, content-addressed mapping cache.
+
+``repro map`` / ``repro sweep`` re-solve identical mapping problems from
+scratch on every invocation; at service scale the same (kernel, fabric,
+configuration) triple arrives over and over.  This module memoises
+successful mapping runs on disk:
+
+* **Key** — the SHA-256 of a canonical JSON rendering of the DFG, the CGRA
+  spec, the *semantic* mapper-configuration fields, the starting II and the
+  solver-core version (:data:`repro.sat.solver.SOLVER_VERSION`).  Execution
+  details that cannot change which mapping is found — timeouts, verbosity,
+  the search strategy, worker counts, the cache directory itself — are
+  excluded, so a portfolio run primes the cache for a later ladder run of
+  the same problem.  Bumping the solver version changes every key, which
+  is how stale results from an older engine are invalidated wholesale.
+* **Entry** — one ``<key>.json`` file under the cache directory holding the
+  achieved II and the full mapping (placements plus register assignment),
+  written atomically (temp file + rename) so concurrent sweep workers can
+  share a directory.
+* **Recovery** — unreadable or tampered entries are deleted on lookup and
+  counted (``corrupted`` / ``invalidated``) rather than raised; a cache can
+  never make a mapping run fail, only skip work.
+
+Only *successful* runs are cached: a failure is relative to the run's
+budgets (timeout, II cap), which the key deliberately ignores.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.mapping import Mapping
+from repro.sat.solver import SOLVER_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.cgra.architecture import CGRA
+    from repro.core.mapper import MapperConfig, MappingOutcome
+    from repro.dfg.graph import DFG
+
+#: Entry-format tag; bumping it invalidates every existing entry.
+SCHEMA = "satmapit-mapcache/1"
+
+#: MapperConfig fields that determine *which* mapping a run can produce.
+#: Everything else (timeout, attempt_time_limit, verbose, search,
+#: search_jobs, portfolio_variants, cache_dir) only affects how fast or
+#: whether the run finishes within budget, never the result of a completed
+#: run, and is deliberately excluded from the key.
+SEMANTIC_CONFIG_FIELDS: tuple[str, ...] = (
+    "max_ii",
+    "schedule_slack",
+    "max_extra_slack",
+    "slack_conflict_limit",
+    "regalloc_retries",
+    "amo_encoding",
+    "amo_probe_conflicts",
+    "backend",
+    "preprocess",
+    "incremental",
+    "max_iteration_span",
+    "enforce_output_register",
+    "symmetry_breaking",
+    "neighbour_register_file_access",
+    "run_register_allocation",
+    "solver_conflict_limit",
+    "random_seed",
+)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache handle (reported per mapping run / sweep)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: Entries discarded because their schema / solver version / key did not
+    #: match what their filename promised (manual copies, version skew).
+    invalidated: int = 0
+    #: Entries deleted because they could not be parsed or decoded into a
+    #: legal mapping.
+    corrupted: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.writes} write(s), {self.invalidated} invalidated, "
+            f"{self.corrupted} corrupted"
+        )
+
+
+@dataclass
+class CacheHit:
+    """A successfully recovered cache entry."""
+
+    key: str
+    ii: int
+    minimum_ii: int
+    mapping: Mapping
+    entry: dict
+
+
+def config_fingerprint(config: "MapperConfig") -> dict:
+    """The semantic slice of a mapper configuration, as plain data."""
+    fingerprint: dict = {}
+    for name in SEMANTIC_CONFIG_FIELDS:
+        value = getattr(config, name, None)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        fingerprint[name] = value
+    return fingerprint
+
+
+def cache_key(
+    dfg: "DFG",
+    cgra: "CGRA",
+    config: "MapperConfig",
+    start_ii: int | None = None,
+    solver_version: str = SOLVER_VERSION,
+) -> str:
+    """Canonical content hash of one mapping problem."""
+    payload = {
+        "schema": SCHEMA,
+        "solver_version": solver_version,
+        "dfg": dfg.to_dict(),
+        "cgra": cgra.to_spec(),
+        "config": config_fingerprint(config),
+        "start_ii": start_ii,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class MappingCache:
+    """Disk-backed mapping memo, one JSON file per cache key."""
+
+    def __init__(
+        self, cache_dir: str | os.PathLike, solver_version: str = SOLVER_VERSION
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.solver_version = solver_version
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        dfg: "DFG",
+        cgra: "CGRA",
+        config: "MapperConfig",
+        start_ii: int | None = None,
+    ) -> str:
+        return cache_key(
+            dfg, cgra, config, start_ii=start_ii,
+            solver_version=self.solver_version,
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        dfg: "DFG",
+        cgra: "CGRA",
+        config: "MapperConfig",
+        start_ii: int | None = None,
+    ) -> CacheHit | None:
+        """Recover a cached result, or ``None`` (recording a miss)."""
+        return self.lookup_key(self.key(dfg, cgra, config, start_ii))
+
+    def lookup_key(self, key: str) -> CacheHit | None:
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self._discard(path, corrupted=True)
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            self._discard(path, corrupted=True)
+            return None
+        if not isinstance(entry, dict) or (
+            entry.get("schema") != SCHEMA
+            or entry.get("solver_version") != self.solver_version
+            or entry.get("key") != key
+        ):
+            self._discard(path, corrupted=False)
+            return None
+        try:
+            mapping = Mapping.from_dict(entry["mapping"])
+            ii = int(entry["ii"])
+            minimum_ii = int(entry.get("minimum_ii", 1))
+        except Exception:
+            self._discard(path, corrupted=True)
+            return None
+        if mapping.ii != ii or mapping.violations():
+            # A tampered or bit-rotted mapping must never be served.
+            self._discard(path, corrupted=True)
+            return None
+        self.stats.hits += 1
+        return CacheHit(
+            key=key, ii=ii, minimum_ii=minimum_ii, mapping=mapping, entry=entry
+        )
+
+    def _discard(self, path: Path, corrupted: bool) -> None:
+        """Drop a bad entry (recovery path) and record why."""
+        if corrupted:
+            self.stats.corrupted += 1
+        else:
+            self.stats.invalidated += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / unwritable dir
+            pass
+
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        key: str,
+        outcome: "MappingOutcome",
+    ) -> Path | None:
+        """Persist a successful outcome under ``key`` (atomic write)."""
+        if not outcome.success or outcome.mapping is None or outcome.ii is None:
+            return None
+        entry = {
+            "schema": SCHEMA,
+            "solver_version": self.solver_version,
+            "key": key,
+            "dfg_name": outcome.dfg_name,
+            "cgra_name": outcome.cgra_name,
+            "ii": outcome.ii,
+            "minimum_ii": outcome.minimum_ii,
+            "attempts": len(outcome.attempts),
+            "total_time": round(outcome.total_time, 4),
+            "search_strategy": outcome.search_strategy,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "mapping": outcome.mapping.to_dict(),
+        }
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.cache_dir, suffix=".tmp", delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle as stream:
+                json.dump(entry, stream, indent=2)
+                stream.write("\n")
+            os.replace(handle.name, path)
+        except OSError:  # pragma: no cover - disk-full style failures
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            return None
+        self.stats.writes += 1
+        return path

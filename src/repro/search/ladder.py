@@ -1,0 +1,32 @@
+"""The paper's sequential II ladder (the default strategy).
+
+Climb from the minimum II one step at a time until an attempt succeeds or a
+bound is hit.  One persistent backend serves the whole climb (in incremental
+mode), so learned clauses, activities and phases carry across II bumps —
+this is behaviour-identical to the loop :meth:`SatMapItMapper.map` ran
+inline before the search layer was factored out, and the test-suite uses it
+as the semantic reference for every other strategy.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import SearchContext, SearchResult, SearchStrategy
+
+
+class LadderStrategy(SearchStrategy):
+    """Sequential climb: try II, II+1, II+2, ... until one maps."""
+
+    name = "ladder"
+
+    def search(self, ctx: SearchContext) -> SearchResult | None:
+        backend = ctx.make_backend()
+        for ii in range(ctx.first_ii, ctx.max_ii + 1):
+            if ctx.out_of_time():
+                ctx.outcome.timed_out = True
+                return None
+            found = ctx.attempt(ii, backend)
+            if found is not None:
+                return found
+            if ctx.outcome.timed_out:
+                return None
+        return None

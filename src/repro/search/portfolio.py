@@ -1,0 +1,482 @@
+"""Process-based parallel portfolio over IIs and solver configurations.
+
+The ladder spends its wall-clock on two things: the UNSAT proofs of the
+infeasible IIs below the optimum, and the final SAT attempt itself.  Both
+are raced here:
+
+* **across IIs** — one worker process per candidate II, so the proof work
+  of II = k and the mapping work of II = k+1 overlap instead of queueing;
+* **across configurations** — each II can additionally be raced by several
+  *variants* of the solver configuration (probe-free AUTO, forced pairwise
+  AMO, sequential AMO, CNF preprocessing).  Variant runtimes on a hard
+  instance differ by integer factors and no single variant dominates, which
+  is the classic SAT-portfolio observation; the first variant to answer
+  settles the II for everyone.
+
+Work items ``(ii, variant)`` are dispatched in II-major order onto at most
+``MapperConfig.search_jobs`` worker processes.  Results are aggregated per
+II, and the **frontier** (the lowest unresolved II) decides the race: a win
+at the frontier II cancels every other worker and returns; a frontier
+failure advances the frontier and may promote an already-finished win at a
+higher II.  A win above the frontier never returns early — minimality
+requires every II below it to be resolved first, exactly like the ladder.
+
+Soundness across variants: every variant encodes the same mapping problem
+(AMO encodings and CNF preprocessing preserve satisfiability), so a SAT
+answer from *any* variant is a valid mapping and a decisive all-UNSAT
+answer from any variant is a proof of infeasibility for the II itself.
+Inconclusive failures (conflict- or time-bounded attempts) only fail the II
+once every variant has failed it.  A **register-allocation** failure is
+weaker still: it rejects the specific models one variant's trajectory kept
+finding, not the II — so the first regalloc-blocked verdict at an II
+escalates it with one extra lane under the unmodified (``default``)
+configuration before the frontier may pass it, keeping the portfolio's II
+aligned with the sequential ladder's even when colouring, not
+satisfiability, is the binding constraint.
+
+Each worker runs a single-II mapping through the ordinary
+:class:`~repro.core.mapper.SatMapItMapper` (ladder strategy, caching off),
+so per-attempt stats come back intact and are merged into the parent run's
+outcome; attempts of cancelled workers die with their process and are
+counted in ``MappingOutcome.portfolio_cancelled``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.sat.encodings import AMOEncoding
+from repro.search.base import SearchContext, SearchResult, SearchStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.core.mapper import MapperConfig, MappingOutcome
+
+#: Named solver-configuration variants a portfolio can race at each II.
+#: Every variant preserves satisfiability of the mapping problem, so their
+#: answers are interchangeable; only their runtimes differ.
+PORTFOLIO_VARIANTS: dict[str, dict] = {
+    # The mapper's default trajectory (AUTO encoding with the sequential
+    # probe/escalation phase).
+    "default": {},
+    # AUTO without the probe: skips the escalation detour, which wins on
+    # attempts the probe budget cannot settle.
+    "no-probe": {"amo_probe_conflicts": None},
+    # Forced quadratic pairwise AMO: maximal propagation per conflict.
+    "pairwise": {"amo_encoding": AMOEncoding.PAIRWISE,
+                 "amo_probe_conflicts": None},
+    # Forced sequential-counter AMO: smallest encoding, fastest to emit.
+    "sequential": {"amo_encoding": AMOEncoding.SEQUENTIAL,
+                   "amo_probe_conflicts": None},
+    # SatELite-style CNF simplification before solving.
+    "preprocess": {"preprocess": True},
+}
+
+#: Default racing line-up (see ``MapperConfig.portfolio_variants``).
+#: ``no-probe`` leads: a worker that owns exactly one II has no use for the
+#: sequential probe/escalation two-phase — the probe exists to spare the
+#: *ladder* quadratic pairwise emission on easy attempts, but the attempts
+#: a portfolio is bought for are the hard ones, which always escalate, so
+#: for a dedicated worker the probe is pure overhead.
+DEFAULT_VARIANTS: tuple[str, ...] = ("no-probe", "default", "pairwise")
+
+#: Seconds between liveness checks while waiting on the result queue.
+_POLL_INTERVAL = 0.2
+
+#: Poll rounds a dead worker's lane stays open for its (possibly still
+#: in-flight) queued answer before being counted as failed.
+_REAP_GRACE_POLLS = 10
+
+
+def variant_overrides(names: tuple[str, ...]) -> list[dict]:
+    """Resolve variant names to config overrides, validating early."""
+    overrides = []
+    for name in names:
+        try:
+            overrides.append(PORTFOLIO_VARIANTS[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown portfolio variant {name!r}; "
+                f"available: {sorted(PORTFOLIO_VARIANTS)}"
+            ) from None
+    return overrides
+
+
+def _portfolio_worker(result_queue, token, dfg, cgra, config, ii) -> None:
+    """Run one (II, variant) mapping attempt and ship the outcome back.
+
+    ``config`` arrives fully specialised (variant overrides applied, ladder
+    strategy, caching off, ``max_ii`` pinned to ``ii``); the worker is just
+    an ordinary single-II mapper run in its own process.
+    """
+    from repro.core.mapper import SatMapItMapper
+
+    try:
+        outcome = SatMapItMapper(config).map(dfg, cgra, start_ii=ii)
+        result_queue.put((token, outcome))
+    except BaseException as exc:  # pragma: no cover - crash containment
+        result_queue.put((token, repr(exc)))
+
+
+#: Sentinel lane index for a regalloc-triggered escalation to the
+#: ``default`` variant (see ``PortfolioStrategy`` docstring).
+_DEFAULT_LANE = -1
+
+
+@dataclass
+class _IIState:
+    """Aggregated verdict for one candidate II across its racing lanes."""
+
+    total_lanes: int
+    win: "MappingOutcome | None" = None
+    winning_variant: str | None = None
+    unsat_proof: bool = False
+    failed_lanes: int = 0
+    #: Whether a regalloc-blocked verdict already spawned the extra
+    #: ``default``-variant lane (at most one per II).
+    escalated: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        return (
+            self.win is not None
+            or self.unsat_proof
+            or self.failed_lanes >= self.total_lanes
+        )
+
+    @property
+    def infeasible(self) -> bool:
+        return self.win is None and self.resolved
+
+
+class PortfolioStrategy(SearchStrategy):
+    """Race IIs and configuration variants; first frontier win takes all."""
+
+    name = "portfolio"
+
+    def search(self, ctx: SearchContext) -> SearchResult | None:
+        config = ctx.config
+        if ctx.first_ii > ctx.max_ii:
+            return None
+        variant_names = tuple(config.portfolio_variants) or ("default",)
+        # Racing variants only pays when they actually run in parallel: on a
+        # box with fewer cores than variants, the extra lanes just timeshare
+        # the winner's core.  Trim the line-up to the machine's parallelism
+        # (the II race across workers is kept — cancelling a moot II's
+        # worker costs nothing).  Explicit line-ups stay explicit: the trim
+        # only drops variants, never reorders them.
+        cpu_budget = os.cpu_count() or 1
+        variant_names = variant_names[: max(1, cpu_budget)]
+        overrides = variant_overrides(variant_names)
+        jobs = max(1, config.search_jobs)
+
+        mp_ctx = multiprocessing.get_context()
+        result_queue = mp_ctx.Queue()
+        # Work items in II-major order: the frontier II gets all its
+        # variants in flight before the next II is touched.  Escalation
+        # lanes (see ``settle``) jump this queue through ``urgent``.
+        items = [
+            (ii, v)
+            for ii in range(ctx.first_ii, ctx.max_ii + 1)
+            for v in range(len(variant_names))
+        ]
+        next_item = 0
+        urgent: list[tuple[int, int]] = []
+        active: dict[int, tuple] = {}  # token -> (process, ii, lane)
+        meta: dict[int, tuple[int, int]] = {}  # token -> (ii, lane), kept
+        settled: set[int] = set()  # tokens whose verdict is recorded
+        cancelled: set[int] = set()  # tokens terminated as moot
+        # Tokens whose process died before their answer arrived: the result
+        # may still be in flight through the queue's feeder thread, so the
+        # lane is only failed after a grace period of poll rounds.
+        pending_dead: dict[int, int] = {}
+        states: dict[int, _IIState] = {}
+        frontier = ctx.first_ii
+        best_win_ii: int | None = None  # lowest II with a win so far
+        token_counter = 0
+
+        outcome = ctx.outcome
+
+        def lane_name(lane: int) -> str:
+            return "default" if lane == _DEFAULT_LANE else variant_names[lane]
+
+        def lane_overrides(lane: int) -> dict:
+            return {} if lane == _DEFAULT_LANE else overrides[lane]
+
+        def launch(ii: int, lane: int) -> None:
+            nonlocal token_counter
+            worker_config = self._worker_config(
+                config, lane_overrides(lane), ii, ctx.remaining_time()
+            )
+            token = token_counter
+            token_counter += 1
+            process = mp_ctx.Process(
+                target=_portfolio_worker,
+                args=(result_queue, token, ctx.dfg, ctx.cgra,
+                      worker_config, ii),
+                daemon=True,
+            )
+            process.start()
+            active[token] = (process, ii, lane)
+            meta[token] = (ii, lane)
+            outcome.portfolio_launched += 1
+            states.setdefault(ii, _IIState(len(variant_names)))
+
+        def dispatch() -> None:
+            nonlocal next_item
+            while len(active) < jobs and (urgent or next_item < len(items)):
+                if urgent:
+                    ii, lane = urgent.pop(0)
+                    state = states.get(ii)
+                    if state is not None and (
+                        state.win is not None or state.unsat_proof
+                    ):
+                        # A sibling lane settled the II while the
+                        # escalation waited for a worker slot.
+                        state.total_lanes -= 1
+                        continue
+                    launch(ii, lane)
+                    continue
+                ii, lane = items[next_item]
+                state = states.get(ii)
+                if (
+                    (best_win_ii is not None and ii >= best_win_ii)
+                    or (state is not None and state.resolved)
+                ):
+                    # The answer is <= best_win_ii / the II is already
+                    # settled; work there is moot.
+                    next_item += 1
+                    continue
+                next_item += 1
+                launch(ii, lane)
+
+        def cancel_all() -> None:
+            for token, (process, _ii, _variant) in active.items():
+                if process.is_alive():
+                    process.terminate()
+                cancelled.add(token)
+                outcome.portfolio_cancelled += 1
+            for process, _ii, _variant in active.values():
+                process.join(timeout=5.0)
+            active.clear()
+
+        def settle(token: int, payload) -> None:
+            """Fold one worker's answer into its II's aggregate state.
+
+            Keyed on ``meta`` (which outlives ``active``) so an answer that
+            arrives *after* its dead process was reaped still lands; answers
+            from cancelled workers and double deliveries are dropped.
+            """
+            nonlocal best_win_ii
+            if token in settled or token in cancelled or token not in meta:
+                return
+            settled.add(token)
+            pending_dead.pop(token, None)
+            ii, lane = meta[token]
+            state = states[ii]
+            if isinstance(payload, str):  # worker crashed; treat as failure
+                state.failed_lanes += 1
+                return
+            worker_outcome = payload
+            outcome.attempts.extend(worker_outcome.attempts)
+            if worker_outcome.success and worker_outcome.mapping is not None:
+                if state.win is None:
+                    state.win = worker_outcome
+                    state.winning_variant = lane_name(lane)
+                if best_win_ii is None or ii < best_win_ii:
+                    best_win_ii = ii
+                return
+            if (
+                worker_outcome.attempts
+                and not worker_outcome.timed_out
+                and all(a.status == "UNSAT" for a in worker_outcome.attempts)
+            ):
+                # A decisive proof of infeasibility — variant-independent.
+                # (A timed-out worker's partial all-UNSAT record is *not* a
+                # proof: untried slack levels might still map this II.)
+                state.unsat_proof = True
+                return
+            state.failed_lanes += 1
+            if any(
+                a.status == "REGALLOC_FAIL" for a in worker_outcome.attempts
+            ) and self._should_escalate(state, lane, variant_names, config,
+                                        lane_overrides(lane)):
+                # SAT models exist at this II but this variant's models kept
+                # failing register allocation — a *model*-dependent verdict,
+                # unlike UNSAT.  Give the II one extra lane under the
+                # unmodified configuration (the ladder's own trajectory)
+                # before letting the frontier pass it.
+                state.escalated = True
+                state.total_lanes += 1
+                urgent.append((ii, _DEFAULT_LANE))
+
+        def expire_pending_dead() -> None:
+            """Fail the lanes of dead workers whose grace period ran out."""
+            for token in list(pending_dead):
+                pending_dead[token] -= 1
+                if pending_dead[token] > 0:
+                    continue
+                del pending_dead[token]
+                if token in settled or token in cancelled:
+                    continue
+                settled.add(token)
+                ii, _lane = meta[token]
+                states[ii].failed_lanes += 1
+
+        try:
+            dispatch()
+            while active or pending_dead:
+                deadline = ctx.remaining_time()
+                timeout = (
+                    _POLL_INTERVAL
+                    if deadline is None
+                    else max(0.01, min(_POLL_INTERVAL, deadline))
+                )
+                try:
+                    token, payload = result_queue.get(timeout=timeout)
+                except queue_module.Empty:
+                    if ctx.out_of_time():
+                        outcome.timed_out = True
+                        cancel_all()
+                        self._finalise_attempts(outcome)
+                        return self._anytime_result(states, frontier)
+                    # Workers that died without answering get a grace
+                    # period (their result may still be in the queue's
+                    # feeder pipeline) before their lane is failed.
+                    for dead in [t for t, (p, _ii, _v) in active.items()
+                                 if not p.is_alive()]:
+                        process, _ii, _lane = active.pop(dead)
+                        process.join()
+                        if dead not in settled:
+                            pending_dead.setdefault(dead, _REAP_GRACE_POLLS)
+                    expire_pending_dead()
+                else:
+                    settle(token, payload)
+                    entry = active.pop(token, None)
+                    if entry is not None:
+                        entry[0].join()
+
+                # Advance the frontier over every freshly resolved II.
+                while True:
+                    state = states.get(frontier)
+                    if state is None or not state.resolved:
+                        break
+                    if state.win is not None:
+                        outcome.portfolio_winner = state.winning_variant
+                        cancel_all()
+                        self._finalise_attempts(outcome)
+                        return SearchResult(
+                            ii=frontier,
+                            mapping=state.win.mapping,
+                            allocation=state.win.register_allocation,
+                        )
+                    frontier += 1
+                if frontier > ctx.max_ii:
+                    cancel_all()
+                    self._finalise_attempts(outcome)
+                    return None
+                # Cancel workers made moot by a win at a lower II or by a
+                # sibling variant settling their II.
+                self._cancel_moot(active, states, best_win_ii, cancelled,
+                                  outcome)
+                dispatch()
+        finally:
+            cancel_all()
+            result_queue.close()
+        # Workers drained without a frontier verdict (e.g. silent worker
+        # deaths resolved the remaining IIs): fall back to the same sound
+        # walk the timeout path uses.
+        self._finalise_attempts(outcome)
+        return self._anytime_result(states, frontier)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _worker_config(
+        config: "MapperConfig", overrides: dict, ii: int,
+        remaining: float | None,
+    ) -> "MapperConfig":
+        """Specialise the run's config for one (II, variant) worker."""
+        fields: dict = dict(overrides)
+        fields["search"] = "ladder"
+        fields["cache_dir"] = None
+        fields["max_ii"] = ii
+        fields["verbose"] = False
+        if remaining is not None:
+            fields["timeout"] = remaining
+        return replace(config, **fields)
+
+    @staticmethod
+    def _cancel_moot(
+        active: dict, states: dict, best_win_ii: int | None,
+        cancelled: set, outcome,
+    ) -> None:
+        """Terminate workers whose answer can no longer matter.
+
+        A worker is moot when its II is above a lower II that already has a
+        win (the answer is at most that win), or when a sibling variant has
+        settled its II either way.
+        """
+        def moot(ii: int) -> bool:
+            if best_win_ii is not None and ii > best_win_ii:
+                return True
+            state = states.get(ii)
+            return state is not None and state.resolved
+
+        for token in [t for t, (_p, ii, _v) in active.items() if moot(ii)]:
+            process, _ii, _variant = active.pop(token)
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            cancelled.add(token)
+            outcome.portfolio_cancelled += 1
+
+    @staticmethod
+    def _should_escalate(
+        state: _IIState, lane: int, variant_names: tuple[str, ...],
+        config: "MapperConfig", lane_ovr: dict,
+    ) -> bool:
+        """Whether a regalloc-blocked lane earns the II a ``default`` lane.
+
+        Pointless when the II already escalated, when ``default`` is part of
+        the racing line-up anyway, or when the failing lane's overrides are
+        a no-op against the base configuration (re-running the identical
+        trajectory cannot change the verdict).
+        """
+        if state.escalated or lane == _DEFAULT_LANE:
+            return False
+        if "default" in variant_names:
+            return False
+        return replace(config, **lane_ovr) != config
+
+    @staticmethod
+    def _finalise_attempts(outcome: "MappingOutcome") -> None:
+        """Order merged attempts by II (stable within an II's variants)."""
+        outcome.attempts.sort(key=lambda attempt: attempt.ii)
+
+    def _anytime_result(
+        self, states: dict[int, _IIState], frontier: int
+    ) -> SearchResult | None:
+        """On timeout, surface the lowest win whose lower IIs all failed.
+
+        Walking up from the frontier: a resolved-infeasible II is skipped,
+        a win is returned (every II below it is proven out), and an
+        unresolved II stops the walk — a win above it would be unsound to
+        claim as minimal, matching what the ladder would have reached.
+        """
+        for ii in sorted(states):
+            if ii < frontier:
+                continue
+            state = states[ii]
+            if state.infeasible:
+                continue
+            if state.win is not None:
+                return SearchResult(
+                    ii=ii,
+                    mapping=state.win.mapping,
+                    allocation=state.win.register_allocation,
+                )
+            return None
+        return None

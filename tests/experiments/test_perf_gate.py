@@ -1,0 +1,100 @@
+"""Perf-harness gate semantics: the suite cannot silently shrink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.perf import PINNED_SUITE, QUICK_SUITE, SCHEMA, compare
+
+
+def _doc(cases: list[dict]) -> dict:
+    return {"schema": SCHEMA, "suite": "default", "cases": cases}
+
+
+def _case(name: str, wall: float, ii: int | None = 3, bounded: bool = False) -> dict:
+    return {"name": name, "wall_s": wall, "ii": ii, "bounded": bounded}
+
+
+class TestCompareGate:
+    def test_identical_runs_pass(self):
+        doc = _doc([_case("a@3x3", 1.0)])
+        ok, lines = compare(doc, doc)
+        assert ok
+        assert any("a@3x3" in line for line in lines)
+
+    def test_gross_slowdown_fails(self):
+        ok, lines = compare(
+            _doc([_case("a@3x3", 1.0)]), _doc([_case("a@3x3", 3.5)])
+        )
+        assert not ok
+        assert any("FAIL" in line for line in lines)
+
+    def test_ii_change_fails(self):
+        ok, lines = compare(
+            _doc([_case("a@3x3", 1.0, ii=3)]),
+            _doc([_case("a@3x3", 1.0, ii=4)]),
+        )
+        assert not ok
+        assert any("II changed" in line for line in lines)
+
+    def test_bounded_cases_exempt_from_ii_gate(self):
+        ok, _ = compare(
+            _doc([_case("a@3x3#c1500", 1.0, ii=None, bounded=True)]),
+            _doc([_case("a@3x3#c1500", 1.0, ii=3, bounded=True)]),
+        )
+        assert ok
+
+    def test_new_case_is_informational(self):
+        ok, lines = compare(
+            _doc([_case("a@3x3", 1.0)]),
+            _doc([_case("a@3x3", 1.0), _case("b@3x3", 1.0)]),
+        )
+        assert ok
+        assert any("new case" in line for line in lines)
+
+    def test_missing_case_is_a_hard_failure(self):
+        """A baseline case absent from the current run must fail the gate —
+        deleting cases would otherwise silently shrink perf coverage."""
+        ok, lines = compare(
+            _doc([_case("a@3x3", 1.0), _case("b@3x3", 1.0)]),
+            _doc([_case("a@3x3", 1.0)]),
+        )
+        assert not ok
+        assert any("missing from current run (FAIL)" in line for line in lines)
+
+    def test_sub_floor_cases_never_fail_on_time(self):
+        ok, lines = compare(
+            _doc([_case("tiny@2x2", 0.004)]), _doc([_case("tiny@2x2", 0.4)])
+        )
+        assert ok
+        assert any("below gate floor" in line for line in lines)
+
+
+class TestSuiteShape:
+    def test_quick_suite_is_subset(self):
+        names = {case.name for case in PINNED_SUITE}
+        assert {case.name for case in QUICK_SUITE} <= names
+
+    def test_portfolio_cases_have_ladder_twins(self):
+        """Every portfolio case needs its same-(kernel, size) ladder twin so
+        run_suite can annotate speedup_vs_ladder."""
+        ladder_pairs = {
+            (case.kernel, case.size)
+            for case in PINNED_SUITE
+            if case.search == "ladder" and not case.bounded
+        }
+        portfolio_cases = [
+            case for case in PINNED_SUITE if case.search == "portfolio"
+        ]
+        assert portfolio_cases, "the pinned suite must race a portfolio case"
+        for case in portfolio_cases:
+            assert (case.kernel, case.size) in ladder_pairs, case.name
+
+
+@pytest.mark.slow
+def test_check_strategy_equivalence_quick_suite():
+    from repro.experiments.perf import check_strategy_equivalence
+
+    ok, lines = check_strategy_equivalence("quick")
+    assert ok, lines
+    assert lines

@@ -1,0 +1,177 @@
+"""Persistent mapping cache: keying, round trips, invalidation, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.kernels import get_kernel
+from repro.search.cache import (
+    SCHEMA,
+    CacheStats,
+    MappingCache,
+    cache_key,
+    config_fingerprint,
+)
+from repro.simulator import CGRASimulator
+
+
+def _map(kernel: str, cache_dir, size: int = 3, **overrides):
+    fields = dict(timeout=60, random_seed=0, cache_dir=str(cache_dir))
+    fields.update(overrides)
+    return SatMapItMapper(MapperConfig(**fields)).map(
+        get_kernel(kernel), CGRA.square(size)
+    )
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self):
+        dfg, cgra = get_kernel("srand"), CGRA.square(3)
+        config = MapperConfig()
+        assert cache_key(dfg, cgra, config) == cache_key(dfg, cgra, config)
+
+    def test_key_changes_with_problem_and_version(self):
+        dfg, cgra = get_kernel("srand"), CGRA.square(3)
+        config = MapperConfig()
+        base = cache_key(dfg, cgra, config)
+        assert cache_key(get_kernel("nw"), cgra, config) != base
+        assert cache_key(dfg, CGRA.square(4), config) != base
+        assert cache_key(dfg, cgra, MapperConfig(random_seed=1)) != base
+        assert cache_key(dfg, cgra, config, solver_version="other") != base
+        assert cache_key(dfg, cgra, config, start_ii=5) != base
+
+    def test_execution_details_do_not_change_the_key(self):
+        """Timeout / strategy / jobs / verbosity are not semantic."""
+        dfg, cgra = get_kernel("srand"), CGRA.square(3)
+        base = cache_key(dfg, cgra, MapperConfig())
+        for overrides in (
+            dict(timeout=5.0),
+            dict(verbose=True),
+            dict(search="portfolio", search_jobs=8),
+            dict(cache_dir="/elsewhere"),
+            dict(attempt_time_limit=1.0),
+        ):
+            assert cache_key(dfg, cgra, MapperConfig(**overrides)) == base
+
+    def test_fingerprint_serialises_enums(self):
+        fingerprint = config_fingerprint(MapperConfig())
+        json.dumps(fingerprint)  # must be plain data
+        assert fingerprint["amo_encoding"] == MapperConfig().amo_encoding.value
+
+
+class TestCacheRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        first = _map("srand", tmp_path)
+        assert first.success and not first.cache_hit
+        assert first.cache_stats.misses == 1
+        assert first.cache_stats.writes == 1
+
+        second = _map("srand", tmp_path)
+        assert second.success and second.cache_hit
+        assert second.ii == first.ii
+        assert second.cache_stats.hits == 1
+        assert second.attempts == []  # no SAT work on a hit
+        assert second.mapping.violations() == []
+        # A hit reports register allocation like a fresh run would (the
+        # post-pass is recomputed from the archived mapping).
+        assert second.register_allocation is not None
+        assert second.register_allocation.success
+        # The recovered mapping replays through the simulator (register
+        # assignment included in the archived entry).
+        simulation = CGRASimulator(second.mapping, None).run(4)
+        assert simulation.success, simulation.errors
+
+    def test_hit_across_strategies(self, tmp_path):
+        """Strategy and jobs are execution details: portfolio primes ladder."""
+        first = _map("srand", tmp_path, search="portfolio", search_jobs=2)
+        assert first.success and not first.cache_hit
+        second = _map("srand", tmp_path, search="ladder")
+        assert second.cache_hit and second.ii == first.ii
+
+    def test_semantic_config_change_misses(self, tmp_path):
+        _map("srand", tmp_path)
+        other = _map("srand", tmp_path, random_seed=1)
+        assert not other.cache_hit
+
+    def test_failed_runs_are_not_cached(self, tmp_path):
+        # gsm needs II=7 on a 2x2; an II cap below that fails the run.
+        failed = _map("gsm", tmp_path, size=2, max_ii=3)
+        assert not failed.success
+        assert failed.cache_stats.writes == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestInvalidationAndRecovery:
+    def test_solver_version_bump_invalidates(self, tmp_path):
+        dfg, cgra = get_kernel("srand"), CGRA.square(3)
+        config = MapperConfig(timeout=60, random_seed=0)
+        old = MappingCache(tmp_path, solver_version="engine-old")
+        outcome = SatMapItMapper(
+            MapperConfig(timeout=60, random_seed=0)
+        ).map(dfg, cgra)
+        key = old.key(dfg, cgra, config)
+        assert old.store(key, outcome) is not None
+
+        # A new engine version derives a different key: plain miss.
+        new = MappingCache(tmp_path, solver_version="engine-new")
+        assert new.lookup(dfg, cgra, config) is None
+        assert new.stats.misses == 1
+
+    def test_tampered_version_field_is_discarded(self, tmp_path):
+        first = _map("srand", tmp_path)
+        [entry_path] = tmp_path.glob("*.json")
+        entry = json.loads(entry_path.read_text())
+        assert entry["schema"] == SCHEMA
+        entry["solver_version"] = "something-else"
+        entry_path.write_text(json.dumps(entry))
+
+        again = _map("srand", tmp_path)
+        assert not again.cache_hit
+        assert again.cache_stats.invalidated == 1
+        # The bad entry was deleted and replaced by a fresh write.
+        assert again.cache_stats.writes == 1
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        _map("srand", tmp_path)
+        [entry_path] = tmp_path.glob("*.json")
+        entry_path.write_text("{not json at all")
+
+        again = _map("srand", tmp_path)
+        assert again.success and not again.cache_hit
+        assert again.cache_stats.corrupted == 1
+        assert again.cache_stats.writes == 1
+        # ... and the rewritten entry serves the next run.
+        final = _map("srand", tmp_path)
+        assert final.cache_hit
+
+    def test_tampered_mapping_is_rejected(self, tmp_path):
+        first = _map("srand", tmp_path)
+        [entry_path] = tmp_path.glob("*.json")
+        entry = json.loads(entry_path.read_text())
+        # Break legality: move every placement onto PE 0 / cycle 0.
+        for placement in entry["mapping"]["placements"]:
+            placement["pe"] = 0
+            placement["cycle"] = 0
+        entry_path.write_text(json.dumps(entry))
+
+        again = _map("srand", tmp_path)
+        assert again.success and not again.cache_hit
+        assert again.cache_stats.corrupted == 1
+        assert again.ii == first.ii
+
+    def test_stats_summary_mentions_all_counters(self):
+        text = CacheStats(hits=1, misses=2, writes=3).summary()
+        assert "1 hit(s)" in text and "2 miss(es)" in text
+
+
+@pytest.mark.parametrize("kernel", ["srand", "stringsearch", "nw", "basicmath"])
+def test_cached_mapping_matches_fresh_run(kernel, tmp_path):
+    """The cache returns the same II the solver would recompute."""
+    fresh = _map(kernel, tmp_path)
+    cached = _map(kernel, tmp_path)
+    assert cached.cache_hit
+    assert cached.ii == fresh.ii
+    assert cached.mapping.violations() == []

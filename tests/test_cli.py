@@ -50,6 +50,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["map", "--kernel", "unknown"])
 
+    def test_search_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["map", "--kernel", "srand", "--search", "portfolio",
+             "--jobs", "4", "--cache", "/tmp/cache",
+             "--portfolio-variants", "no-probe", "sequential"]
+        )
+        assert args.search == "portfolio"
+        assert args.jobs == 4
+        assert args.cache == "/tmp/cache"
+        assert args.portfolio_variants == ["no-probe", "sequential"]
+        args = build_parser().parse_args(
+            ["sweep", "--search", "bisect", "--cache", "/tmp/cache"]
+        )
+        assert args.search == "bisect"
+        assert args.cache == "/tmp/cache"
+
+    def test_unknown_search_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--kernel", "srand", "--search", "random-walk"]
+            )
+
+    def test_unknown_portfolio_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--kernel", "srand", "--portfolio-variants", "quantum"]
+            )
+
 
 class TestCommands:
     def test_map_command_prints_kernel_report(self, capsys):
@@ -89,6 +117,51 @@ class TestCommands:
         assert exit_code == 0
         assert "Figure 6" in captured.out
         assert report.exists()
+
+    def test_map_with_cache_round_trip(self, capsys, tmp_path):
+        cache = tmp_path / "mapcache"
+        exit_code = main([
+            "map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+            "--timeout", "30", "--cache", str(cache),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cache: miss" in captured.out
+        assert "1 write(s)" in captured.out
+
+        exit_code = main([
+            "map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+            "--timeout", "30", "--cache", str(cache),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cache: hit" in captured.out
+        assert "cached" in captured.out
+
+    def test_map_with_portfolio_search(self, capsys):
+        exit_code = main([
+            "map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+            "--timeout", "60", "--search", "portfolio", "--jobs", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "II=" in captured.out
+        assert "portfolio:" in captured.out
+        assert "worker(s) launched" in captured.out
+
+    def test_sweep_with_cache_reuses_results(self, capsys, tmp_path):
+        cache = tmp_path / "sweepcache"
+        argv = [
+            "sweep", "--kernels", "srand", "--sizes", "2", "--timeout", "20",
+            "--pathseeker-repeats", "1", "--cache", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "mapping cache: 0/1" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "mapping cache: 1/1" in second
+        assert "[cache]" in second
 
     def test_map_with_dpll_backend_and_seed(self, capsys):
         exit_code = main([
