@@ -21,15 +21,49 @@ MappingOutcome``) and produce mappings that are checked by the same legality
 rules, so the comparison in the experiment harness is apples-to-apples.
 """
 
+from dataclasses import replace
+
 from repro.baselines.base import BaselineConfig, HeuristicMapper
 from repro.baselines.exhaustive import ExhaustiveMapper
 from repro.baselines.pathseeker import PathSeekerMapper
 from repro.baselines.ramp import RampMapper
 
+#: Heuristic mappers usable as budgeted pre-passes (II-seeding, quick
+#: feasibility probes).  The exhaustive oracle is deliberately absent: it
+#: has no meaningful behaviour under a wall budget.
+HEURISTIC_MAPPERS: dict[str, type[HeuristicMapper]] = {
+    "ramp": RampMapper,
+    "pathseeker": PathSeekerMapper,
+}
+
+
+def run_budgeted(name, dfg, cgra, *, time_budget, start_ii=None, **overrides):
+    """Run one heuristic mapper under a hard wall-clock budget.
+
+    ``name`` picks a mapper from :data:`HEURISTIC_MAPPERS`; the mapper keeps
+    its class-default tuning (attempts per II, random seed) and only the
+    budget plus any explicit ``BaselineConfig`` ``overrides`` are replaced.
+    This is the entry point the II-seeding layer (:mod:`repro.search.seed`)
+    drives, and the shape a service-side quick-probe endpoint would call.
+    """
+    try:
+        mapper_cls = HEURISTIC_MAPPERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic mapper {name!r}; "
+            f"available: {sorted(HEURISTIC_MAPPERS)}"
+        ) from None
+    base = mapper_cls().config
+    config = replace(base, timeout=time_budget, **overrides)
+    return mapper_cls(config).map(dfg, cgra, start_ii=start_ii)
+
+
 __all__ = [
     "BaselineConfig",
     "HeuristicMapper",
+    "HEURISTIC_MAPPERS",
     "RampMapper",
     "PathSeekerMapper",
     "ExhaustiveMapper",
+    "run_budgeted",
 ]

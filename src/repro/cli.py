@@ -92,6 +92,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
         search=args.search,
         search_jobs=args.jobs,
         cache_dir=args.cache,
+        cache_max_mb=args.cache_max_mb,
+        seed_heuristic=args.seed_heuristic,
+        seed_time_budget=args.seed_budget,
+        tuner_dir=args.tuner,
     )
     if args.portfolio_variants:
         config_fields["portfolio_variants"] = tuple(args.portfolio_variants)
@@ -120,6 +124,25 @@ def _cmd_map(args: argparse.Namespace) -> int:
             ).print_stats(25)
             print(buffer.getvalue())
     print(outcome.summary())
+    if args.seed_heuristic and not outcome.cache_hit:
+        if outcome.seed_ii is not None:
+            used = " (final answer)" if outcome.seed_used else ""
+            print(
+                f"seed: {outcome.seed_mapper} found II={outcome.seed_ii} "
+                f"in {outcome.seed_time:.3f}s{used}"
+            )
+        else:
+            print(
+                f"seed: no feasible heuristic mapping within "
+                f"{outcome.seed_time:.3f}s — unseeded search"
+            )
+    if outcome.tuner_stats is not None and not outcome.cache_hit:
+        if outcome.tuner_consulted:
+            lineup = ", ".join(outcome.tuner_lineup or ())
+            print(f"tuner: consulted persisted lane stats — line-up: {lineup}")
+        else:
+            print("tuner: cold start (no lane stats for this problem yet)")
+        print(f"tuner: {outcome.tuner_stats.summary()}")
     if outcome.search_strategy == "portfolio" and not outcome.cache_hit:
         winner = (
             f", winning variant: {outcome.portfolio_winner}"
@@ -165,6 +188,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenarios=tuple(args.scenarios),
         search=args.search,
         cache_dir=args.cache,
+        cache_max_mb=args.cache_max_mb,
+        seed_heuristic=args.seed_heuristic,
+        tuner_dir=args.tuner,
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
           f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
@@ -284,6 +310,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "successful runs are stored keyed by "
                               "(DFG, fabric, config, solver version) and "
                               "identical future runs return instantly")
+    map_cmd.add_argument("--cache-max-mb", type=float, default=None,
+                         metavar="MB",
+                         help="size budget for --cache; oldest entries are "
+                              "evicted first once the directory exceeds it "
+                              "(default: unbounded)")
+    map_cmd.add_argument("--seed-heuristic", action="store_true",
+                         help="run the budgeted RAMP/PathSeeker pre-pass and "
+                              "use its validated mapping as a feasible II "
+                              "upper bound (and anytime answer on timeout)")
+    map_cmd.add_argument("--seed-budget", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="wall budget for --seed-heuristic "
+                              "(default: 2.0)")
+    map_cmd.add_argument("--tuner", metavar="DIR",
+                         help="persistent lane-tuner store: the portfolio "
+                              "records per-lane win/loss/wall statistics "
+                              "keyed by (kernel shape, fabric) and consults "
+                              "them to pick its line-up on later runs")
     map_cmd.add_argument("--profile", action="store_true",
                          help="run under cProfile and print the top "
                               "cumulative functions after the mapping")
@@ -323,6 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="persistent mapping-cache directory shared "
                                 "by all SAT-MapIt runs of the sweep (reused "
                                 "across scenarios and repeat sweeps)")
+    sweep_cmd.add_argument("--cache-max-mb", type=float, default=None,
+                           metavar="MB",
+                           help="size budget for --cache; oldest entries "
+                                "evicted first (default: unbounded)")
+    sweep_cmd.add_argument("--seed-heuristic", action="store_true",
+                           help="heuristic II-seeding pre-pass before every "
+                                "SAT-MapIt search")
+    sweep_cmd.add_argument("--tuner", metavar="DIR",
+                           help="persistent lane-tuner store shared by all "
+                                "portfolio runs of the sweep")
     sweep_cmd.add_argument("--write-report", metavar="PATH",
                            help="write EXPERIMENTS-style Markdown report to PATH")
     sweep_cmd.set_defaults(func=_cmd_sweep)

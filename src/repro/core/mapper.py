@@ -132,6 +132,30 @@ class MapperConfig:
     #: (DFG, CGRA spec, semantic config, solver version) and later runs of
     #: the same problem return instantly with ``MappingOutcome.cache_hit``.
     cache_dir: str | None = None
+    #: Size budget for the mapping cache directory, in MiB; when the
+    #: directory outgrows it after a write, the oldest entries are evicted
+    #: first (``CacheStats.evicted``).  ``None`` means unbounded.
+    cache_max_mb: float | None = None
+    #: Run the heuristic mappers as a budgeted pre-pass before any SAT work
+    #: (see :mod:`repro.search.seed`).  A validated heuristic mapping gives
+    #: every strategy a feasible upper bound — the ladder stops below it,
+    #: bisection skips its gallop phase, the portfolio only races IIs below
+    #: it — and is the anytime answer when the SAT search times out.  Like
+    #: the search strategy, seeding never changes the II of a completed
+    #: run, only how fast it is reached (CI-gated), so it is excluded from
+    #: the cache key.
+    seed_heuristic: bool = False
+    #: Wall-clock budget (seconds) for the whole seeding pre-pass.
+    seed_time_budget: float = 2.0
+    #: Heuristic mappers the pre-pass runs, in order (names from
+    #: :data:`repro.baselines.HEURISTIC_MAPPERS`); later mappers only
+    #: search below the best II already found.
+    seed_mappers: tuple[str, ...] = ("ramp", "pathseeker")
+    #: Directory of the persistent lane-statistics store
+    #: (:class:`repro.search.tuner.LaneTuner`); ``None`` disables tuning.
+    #: The portfolio consults it to order its variant line-up and size the
+    #: probe conflict budget, and records each settled race back into it.
+    tuner_dir: str | None = None
 
 
 @dataclass
@@ -184,6 +208,10 @@ class IIAttempt:
     #: the pairwise-optimised ``AUTO`` form (see
     #: ``MapperConfig.amo_probe_conflicts``).
     escalated: bool = False
+    #: Heuristic-seed ceiling in force when this attempt ran (``None`` in
+    #: unseeded runs): the II of the validated heuristic mapping bounding
+    #: the search from above — every seeded attempt probes strictly below.
+    seed_ceiling: int | None = None
 
     def record_solve(self, stats) -> None:
         """Fold one solve call's :class:`SolverStats` into this attempt."""
@@ -230,6 +258,21 @@ class MappingOutcome:
     #: Configuration variant that produced the winning mapping (portfolio
     #: runs only).
     portfolio_winner: str | None = None
+    #: Heuristic-seeding pre-pass results (``seed_heuristic`` runs only):
+    #: II and producing mapper of the validated seed (``None``/empty when
+    #: the pre-pass found nothing), wall-clock spent seeding, and whether
+    #: the returned mapping *is* the heuristic one (the SAT search proved
+    #: everything below infeasible, or timed out and fell back to it).
+    seed_ii: int | None = None
+    seed_mapper: str | None = None
+    seed_time: float = 0.0
+    seed_used: bool = False
+    #: Lane-tuner interaction (``tuner_dir`` runs only): whether persisted
+    #: statistics informed the portfolio line-up, the line-up raced, and
+    #: the handle's counters (:class:`repro.search.tuner.TunerStats`).
+    tuner_consulted: bool = False
+    tuner_lineup: tuple[str, ...] | None = None
+    tuner_stats: object | None = None
 
     @property
     def incremental_resolves(self) -> int:
@@ -359,7 +402,7 @@ class SatMapItMapper:
         cache: MappingCache | None = None
         key: str | None = None
         if config.cache_dir:
-            cache = MappingCache(config.cache_dir)
+            cache = MappingCache(config.cache_dir, max_mb=config.cache_max_mb)
             key = cache.key(dfg, cgra, config, start_ii=first_ii)
             outcome.cache_key = key
             outcome.cache_stats = cache.stats
@@ -389,7 +432,41 @@ class SatMapItMapper:
                 )
                 return outcome
 
-        context = SearchContext(self, dfg, cgra, outcome, start, first_ii)
+        seed = None
+        if config.seed_heuristic:
+            from repro.search.seed import run_seed
+
+            seed_start = time.perf_counter()
+            remaining = self._remaining_time(start)
+            budget = config.seed_time_budget
+            if remaining is not None:
+                budget = min(budget, remaining)
+            seed_result = run_seed(dfg, cgra, config, first_ii, budget=budget)
+            outcome.seed_time = time.perf_counter() - seed_start
+            if seed_result is not None:
+                outcome.seed_ii = seed_result.ii
+                outcome.seed_mapper = seed_result.mapper_name
+                seed = seed_result.as_search_result()
+                self._log(
+                    f"heuristic seed: {seed_result.mapper_name} found "
+                    f"II={seed_result.ii} in {outcome.seed_time:.3f}s"
+                )
+            else:
+                self._log(
+                    f"heuristic seed: no feasible mapping within "
+                    f"{budget:.1f}s"
+                )
+
+        tuner = None
+        if config.tuner_dir:
+            from repro.search.tuner import LaneTuner
+
+            tuner = LaneTuner(config.tuner_dir)
+            outcome.tuner_stats = tuner.stats
+
+        context = SearchContext(
+            self, dfg, cgra, outcome, start, first_ii, seed=seed, tuner=tuner
+        )
         found = strategy.search(context)
         outcome.total_time = time.perf_counter() - start
         if found is not None:
@@ -397,6 +474,9 @@ class SatMapItMapper:
             outcome.ii = found.ii
             outcome.mapping = found.mapping
             outcome.register_allocation = found.allocation
+            outcome.seed_used = (
+                seed is not None and found.mapping is seed.mapping
+            )
             # A timed-out search may have returned an anytime (feasible but
             # possibly non-minimal) II; the cache key ignores budgets, so
             # caching it would pin the weaker answer for generously-budgeted

@@ -161,6 +161,24 @@ def search_cache_totals(sweep: SweepResult) -> tuple[dict[str, int], int, int, i
     return strategies, hits, misses, launched, cancelled
 
 
+def seed_totals(sweep: SweepResult) -> tuple[int, int, int, float, int]:
+    """Aggregate heuristic-seeding metrics over the SAT-MapIt runs.
+
+    Returns ``(seeded_runs, seeds_found, seeds_used, seed_seconds,
+    tuner_consults)``: runs that ran the pre-pass, runs where it produced a
+    validated mapping, runs whose *returned* mapping is the seed itself
+    (anytime fallback or MII-optimal seed), total pre-pass wall-clock, and
+    portfolio runs that consulted persisted lane statistics.
+    """
+    records = [entry for entry in sweep.records if entry.mapper == SAT_MAPIT]
+    seeded = sum(1 for entry in records if sweep.config.seed_heuristic)
+    found = sum(1 for entry in records if entry.seed_ii is not None)
+    used = sum(1 for entry in records if entry.seed_used)
+    seconds = sum(entry.seed_time for entry in records)
+    consults = sum(1 for entry in records if entry.tuner_consulted)
+    return seeded, found, used, seconds, consults
+
+
 def preprocess_totals(sweep: SweepResult) -> tuple[int, int, float]:
     """Aggregate CNF-preprocessing yield over the SAT-MapIt runs of a sweep.
 
@@ -229,6 +247,9 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
                if config.search == "portfolio" else ""),
             f"* mapping cache: "
             f"{config.cache_dir if config.cache_dir else 'off'}",
+            f"* heuristic II seeding: "
+            f"{'on' if config.seed_heuristic else 'off'}, lane tuner: "
+            f"{config.tuner_dir if config.tuner_dir else 'off'}",
             f"* PathSeeker repeats per case: {config.pathseeker_repeats} (paper: 10)",
             "",
             "## Headline (paper Section V)",
@@ -267,6 +288,24 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             "",
         ]
     )
+    if config.seed_heuristic or config.tuner_dir:
+        seeded, found, used, seconds, consults = seed_totals(sweep)
+        lines.extend(
+            [
+                "## Heuristic seeding & lane tuner",
+                "",
+                f"* runs with the RAMP/PathSeeker seeding pre-pass: "
+                f"**{seeded}**",
+                f"* pre-passes yielding a validated seed mapping: "
+                f"**{found}** (pre-pass wall-clock: **{seconds:.2f} s**)",
+                f"* runs answered by the seed mapping itself "
+                f"(MII-optimal seed or anytime fallback): **{used}**",
+                f"* portfolio runs consulting persisted lane statistics: "
+                f"**{consults}**"
+                + ("" if config.tuner_dir else " (tuner off)"),
+                "",
+            ]
+        )
     if config.preprocess or pre_clauses or pre_vars:
         lines.extend(
             [

@@ -93,6 +93,13 @@ class ExperimentConfig:
     #: execution details, re-sweeping the same kernels — or sweeping extra
     #: scenarios over an already-cached fabric — reuses earlier results.
     cache_dir: str | None = None
+    #: Size budget (MB) for ``cache_dir``; oldest entries evicted first.
+    cache_max_mb: float | None = None
+    #: Run the budgeted heuristic seeding pre-pass before every SAT-MapIt
+    #: search (see :mod:`repro.search.seed`).
+    seed_heuristic: bool = False
+    #: Persistent lane-tuner store for portfolio runs (``None`` disables).
+    tuner_dir: str | None = None
 
 
 @dataclass
@@ -139,6 +146,15 @@ class RunRecord:
     #: Portfolio-strategy process counters (zero for other strategies).
     portfolio_launched: int = 0
     portfolio_cancelled: int = 0
+    #: Heuristic-seeding metrics (``seed_heuristic=True`` SAT-MapIt runs):
+    #: the pre-pass II (None when no feasible heuristic mapping was found),
+    #: whether the seed mapping ended up as the returned answer, and the
+    #: wall-clock seconds the pre-pass spent.
+    seed_ii: int | None = None
+    seed_used: bool = False
+    seed_time: float = 0.0
+    #: Whether the portfolio consulted persisted lane statistics.
+    tuner_consulted: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -212,6 +228,9 @@ def build_mapper(name: str, config: ExperimentConfig, seed: int | None = None):
                 search=config.search,
                 search_jobs=config.search_jobs,
                 cache_dir=config.cache_dir,
+                cache_max_mb=config.cache_max_mb,
+                seed_heuristic=config.seed_heuristic,
+                tuner_dir=config.tuner_dir,
             )
         )
     if name == RAMP:
@@ -270,6 +289,10 @@ def run_single(
         cache_hit=getattr(outcome, "cache_hit", False),
         portfolio_launched=getattr(outcome, "portfolio_launched", 0),
         portfolio_cancelled=getattr(outcome, "portfolio_cancelled", 0),
+        seed_ii=getattr(outcome, "seed_ii", None),
+        seed_used=getattr(outcome, "seed_used", False),
+        seed_time=getattr(outcome, "seed_time", 0.0),
+        tuner_consulted=getattr(outcome, "tuner_consulted", False),
     )
 
 

@@ -19,6 +19,12 @@ and solved, so this package factors it out of the mapper:
 * :class:`repro.search.cache.MappingCache` — a persistent, content-addressed
   result cache keyed by (DFG, CGRA spec, mapper configuration, solver
   version).
+* :mod:`repro.search.seed` — a budgeted heuristic pre-pass (RAMP /
+  PathSeeker) whose validated mapping becomes a feasible upper bound every
+  strategy exploits, and the anytime answer on timeout.
+* :class:`repro.search.tuner.LaneTuner` — a persistent per-problem-class
+  statistics store the portfolio consults to pick its lane line-up and
+  probe budgets, learning from every settled race.
 
 Strategies are selected by name through ``MapperConfig.search`` / the CLI's
 ``--search`` flag; new ones plug in via :func:`register_strategy`.
@@ -41,6 +47,8 @@ from repro.search.portfolio import (
     PORTFOLIO_VARIANTS,
     PortfolioStrategy,
 )
+from repro.search.seed import SeedResult, run_seed
+from repro.search.tuner import LaneTuner, TunerStats, tuner_key
 
 register_strategy("ladder", LadderStrategy)
 register_strategy("bisect", BisectionStrategy)
@@ -50,14 +58,19 @@ __all__ = [
     "BisectionStrategy",
     "CacheStats",
     "LadderStrategy",
+    "LaneTuner",
     "MappingCache",
     "PORTFOLIO_VARIANTS",
     "PortfolioStrategy",
     "SearchContext",
     "SearchResult",
     "SearchStrategy",
+    "SeedResult",
+    "TunerStats",
     "available_strategies",
     "cache_key",
     "create_strategy",
     "register_strategy",
+    "run_seed",
+    "tuner_key",
 ]

@@ -54,6 +54,8 @@ class SearchContext:
         outcome: "MappingOutcome",
         start: float,
         first_ii: int,
+        seed: SearchResult | None = None,
+        tuner: object | None = None,
     ) -> None:
         self.mapper = mapper
         self.dfg = dfg
@@ -61,6 +63,15 @@ class SearchContext:
         self.outcome = outcome
         self.start = start
         self.first_ii = first_ii
+        #: Validated heuristic upper bound (see :mod:`repro.search.seed`):
+        #: a feasible mapping at ``seed.ii``.  Strategies only need to
+        #: search ``[first_ii, seed.ii - 1]`` and fall back to the seed
+        #: itself on exhaustion or timeout; ``None`` in unseeded runs.
+        self.seed = seed
+        #: Persistent lane-statistics handle
+        #: (:class:`repro.search.tuner.LaneTuner`) the portfolio consults
+        #: and feeds; ``None`` when tuning is off.
+        self.tuner = tuner
 
     @property
     def config(self) -> "MapperConfig":
@@ -89,9 +100,13 @@ class SearchContext:
         Every (II, slack) attempt is appended to the run's outcome; a
         timeout inside the attempt sets ``outcome.timed_out``.
         """
+        before = len(self.outcome.attempts)
         found = self.mapper._try_ii(
             self.dfg, self.cgra, ii, self.outcome, self.start, backend
         )
+        if self.seed is not None:
+            for attempt in self.outcome.attempts[before:]:
+                attempt.seed_ceiling = self.seed.ii
         if found is None:
             return None
         mapping, allocation = found

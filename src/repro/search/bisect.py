@@ -24,6 +24,11 @@ to the ladder's.
 One persistent backend serves all probes in incremental mode: attempts are
 selector-guarded constraint groups, so probing out of ladder order is sound
 (retiring a group is an assumption flip, independent of II ordering).
+
+With a heuristic seed (``MapperConfig.seed_heuristic``), phase 1 vanishes:
+the seed mapping is already a validated upper bound, so the binary search
+starts on ``[first_ii, seed.ii - 1]`` and the seed is the fallback answer
+when the whole interval is refuted or the clock runs out.
 """
 
 from __future__ import annotations
@@ -44,34 +49,45 @@ class BisectionStrategy(SearchStrategy):
         if lo > ctx.max_ii:
             return None
 
-        # Phase 1: gallop for a feasible upper bound.
-        gap = 1
-        probe = lo
-        hi = ctx.max_ii
-        while best is None:
-            if ctx.out_of_time():
-                ctx.outcome.timed_out = True
-                return None
-            probe = min(probe, ctx.max_ii)
-            found = ctx.attempt(probe, backend)
-            visited.add(probe)
-            if found is not None:
-                best = found
-                hi = probe - 1
-                break
-            if ctx.outcome.timed_out:
-                return None
-            if not ctx.attempt_was_decisive(probe):
-                # An inconclusive (bounded) failure proves nothing about the
-                # IIs below the probe — skipping from here would be unsound.
-                return self._sequential_tail(
-                    ctx, backend, lo, ctx.max_ii, visited, None
-                )
-            lo = probe + 1
-            if probe >= ctx.max_ii:
-                return None  # every II up to the cap is refuted
-            probe = probe + gap  # gaps +1, +2, +4, ... as documented
-            gap *= 2
+        if ctx.seed is not None:
+            # A heuristic seed *is* the feasible upper bound the gallop
+            # exists to discover: skip phase 1 entirely and binary-search
+            # [first_ii, seed.ii - 1] directly.  A seed at the first
+            # candidate is provably optimal (the MII bounds from below).
+            if ctx.seed.ii <= lo:
+                return ctx.seed
+            best = ctx.seed
+            hi = min(ctx.max_ii, ctx.seed.ii - 1)
+        else:
+            # Phase 1: gallop for a feasible upper bound.
+            gap = 1
+            probe = lo
+            hi = ctx.max_ii
+            while best is None:
+                if ctx.out_of_time():
+                    ctx.outcome.timed_out = True
+                    return None
+                probe = min(probe, ctx.max_ii)
+                found = ctx.attempt(probe, backend)
+                visited.add(probe)
+                if found is not None:
+                    best = found
+                    hi = probe - 1
+                    break
+                if ctx.outcome.timed_out:
+                    return None
+                if not ctx.attempt_was_decisive(probe):
+                    # An inconclusive (bounded) failure proves nothing about
+                    # the IIs below the probe — skipping from here would be
+                    # unsound.
+                    return self._sequential_tail(
+                        ctx, backend, lo, ctx.max_ii, visited, None
+                    )
+                lo = probe + 1
+                if probe >= ctx.max_ii:
+                    return None  # every II up to the cap is refuted
+                probe = probe + gap  # gaps +1, +2, +4, ... as documented
+                gap *= 2
 
         # Phase 2: binary search in [lo, hi] below the found bound.
         while lo <= hi:

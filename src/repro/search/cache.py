@@ -50,9 +50,11 @@ SCHEMA = "satmapit-mapcache/1"
 
 #: MapperConfig fields that determine *which* mapping a run can produce.
 #: Everything else (timeout, attempt_time_limit, verbose, search,
-#: search_jobs, portfolio_variants, cache_dir) only affects how fast or
-#: whether the run finishes within budget, never the result of a completed
-#: run, and is deliberately excluded from the key.
+#: search_jobs, portfolio_variants, cache_dir, cache_max_mb, the
+#: heuristic-seeding knobs and tuner_dir) only affects how fast or whether
+#: the run finishes within budget, never the II of a completed run, and is
+#: deliberately excluded from the key — a seeded portfolio run primes the
+#: cache for a later unseeded ladder run of the same problem.
 SEMANTIC_CONFIG_FIELDS: tuple[str, ...] = (
     "max_ii",
     "schedule_slack",
@@ -87,12 +89,15 @@ class CacheStats:
     #: Entries deleted because they could not be parsed or decoded into a
     #: legal mapping.
     corrupted: int = 0
+    #: Entries pruned (oldest first) to keep the directory inside its size
+    #: budget (``MappingCache(max_mb=...)``).
+    evicted: int = 0
 
     def summary(self) -> str:
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.writes} write(s), {self.invalidated} invalidated, "
-            f"{self.corrupted} corrupted"
+            f"{self.corrupted} corrupted, {self.evicted} evicted"
         )
 
 
@@ -142,11 +147,16 @@ class MappingCache:
     """Disk-backed mapping memo, one JSON file per cache key."""
 
     def __init__(
-        self, cache_dir: str | os.PathLike, solver_version: str = SOLVER_VERSION
+        self,
+        cache_dir: str | os.PathLike,
+        solver_version: str = SOLVER_VERSION,
+        max_mb: float | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.solver_version = solver_version
+        #: Directory size budget in bytes; ``None`` leaves growth unbounded.
+        self.max_bytes = None if max_mb is None else int(max_mb * 1024 * 1024)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -266,4 +276,36 @@ class MappingCache:
                 pass
             return None
         self.stats.writes += 1
+        self._enforce_budget(keep=path)
         return path
+
+    def _enforce_budget(self, keep: Path | None = None) -> None:
+        """Prune oldest entries first until the directory fits the budget.
+
+        The entry just written (``keep``) is exempt — a single oversized
+        store must not evict itself, or a hot loop would write and delete
+        the same key forever.  Races with concurrent sweep workers are
+        benign: a vanished file is simply skipped.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        for _mtime, path, size in sorted(entries):
+            if total <= self.max_bytes:
+                return
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evicted += 1
+            total -= size

@@ -161,7 +161,28 @@ class PortfolioStrategy(SearchStrategy):
         config = ctx.config
         if ctx.first_ii > ctx.max_ii:
             return None
+        seed = ctx.seed
+        if seed is not None and seed.ii <= ctx.first_ii:
+            # The seed already sits on the lower bound — provably optimal,
+            # nothing to race.
+            return seed
+        # A seed caps the raced range: lanes only prove optimality downward
+        # from it; the frontier passing ``top_ii`` means every lower II is
+        # resolved infeasible and the seed mapping is the answer.
+        top_ii = ctx.max_ii if seed is None else min(ctx.max_ii, seed.ii - 1)
         variant_names = tuple(config.portfolio_variants) or ("default",)
+        probe_override: int | None = None
+        tuner = ctx.tuner
+        tuner_key: str | None = None
+        if tuner is not None:
+            tuner_key = tuner.key(ctx.dfg, ctx.cgra)
+            choice = tuner.choose(
+                tuner_key, variant_names, tuple(PORTFOLIO_VARIANTS)
+            )
+            ctx.outcome.tuner_consulted = choice.consulted
+            if choice.consulted:
+                variant_names = choice.lineup
+                probe_override = choice.probe_conflicts
         # Racing variants only pays when they actually run in parallel: on a
         # box with fewer cores than variants, the extra lanes just timeshare
         # the winner's core.  Trim the line-up to the machine's parallelism
@@ -170,6 +191,7 @@ class PortfolioStrategy(SearchStrategy):
         # only drops variants, never reorders them.
         cpu_budget = os.cpu_count() or 1
         variant_names = variant_names[: max(1, cpu_budget)]
+        ctx.outcome.tuner_lineup = variant_names if tuner is not None else None
         overrides = variant_overrides(variant_names)
         jobs = max(1, config.search_jobs)
 
@@ -180,7 +202,7 @@ class PortfolioStrategy(SearchStrategy):
         # lanes (see ``settle``) jump this queue through ``urgent``.
         items = [
             (ii, v)
-            for ii in range(ctx.first_ii, ctx.max_ii + 1)
+            for ii in range(ctx.first_ii, top_ii + 1)
             for v in range(len(variant_names))
         ]
         next_item = 0
@@ -194,6 +216,10 @@ class PortfolioStrategy(SearchStrategy):
         # lane is only failed after a grace period of poll rounds.
         pending_dead: dict[int, int] = {}
         states: dict[int, _IIState] = {}
+        # One record per settled lane, for the tuner: which lane, at which
+        # II, did it deliver the verdict and how much wall/conflicts it
+        # spent.  ``won`` is resolved at return time against the winning II.
+        lane_log: list[dict] = []
         frontier = ctx.first_ii
         best_win_ii: int | None = None  # lowest II with a win so far
         token_counter = 0
@@ -209,7 +235,8 @@ class PortfolioStrategy(SearchStrategy):
         def launch(ii: int, lane: int) -> None:
             nonlocal token_counter
             worker_config = self._worker_config(
-                config, lane_overrides(lane), ii, ctx.remaining_time()
+                config, lane_overrides(lane), ii, ctx.remaining_time(),
+                probe_override,
             )
             token = token_counter
             token_counter += 1
@@ -279,8 +306,21 @@ class PortfolioStrategy(SearchStrategy):
             state = states[ii]
             if isinstance(payload, str):  # worker crashed; treat as failure
                 state.failed_lanes += 1
+                lane_log.append({
+                    "ii": ii, "lane": lane_name(lane), "outcome": None,
+                    "wall_s": 0.0, "conflicts": 0,
+                })
                 return
             worker_outcome = payload
+            lane_log.append({
+                "ii": ii,
+                "lane": lane_name(lane),
+                "outcome": worker_outcome,
+                "wall_s": worker_outcome.total_time,
+                "conflicts": sum(
+                    a.conflicts for a in worker_outcome.attempts
+                ),
+            })
             outcome.attempts.extend(worker_outcome.attempts)
             if worker_outcome.success and worker_outcome.mapping is not None:
                 if state.win is None:
@@ -342,7 +382,9 @@ class PortfolioStrategy(SearchStrategy):
                         outcome.timed_out = True
                         cancel_all()
                         self._finalise_attempts(outcome)
-                        return self._anytime_result(states, frontier)
+                        # The seed is the anytime answer of last resort:
+                        # feasible and validated, merely not proven minimal.
+                        return self._anytime_result(states, frontier) or seed
                     # Workers that died without answering get a grace
                     # period (their result may still be in the queue's
                     # feeder pipeline) before their lane is failed.
@@ -368,16 +410,24 @@ class PortfolioStrategy(SearchStrategy):
                         outcome.portfolio_winner = state.winning_variant
                         cancel_all()
                         self._finalise_attempts(outcome)
+                        if tuner is not None and tuner_key is not None:
+                            self._record_tuner(
+                                tuner, tuner_key, lane_log, frontier,
+                                state.win,
+                            )
                         return SearchResult(
                             ii=frontier,
                             mapping=state.win.mapping,
                             allocation=state.win.register_allocation,
                         )
                     frontier += 1
-                if frontier > ctx.max_ii:
+                if frontier > top_ii:
+                    # Every raced II is resolved infeasible: with a seed the
+                    # seed mapping is the (now provably minimal among the
+                    # unruled candidates) answer; without one the run failed.
                     cancel_all()
                     self._finalise_attempts(outcome)
-                    return None
+                    return seed
                 # Cancel workers made moot by a win at a lower II or by a
                 # sibling variant settling their II.
                 self._cancel_moot(active, states, best_win_ii, cancelled,
@@ -390,23 +440,63 @@ class PortfolioStrategy(SearchStrategy):
         # deaths resolved the remaining IIs): fall back to the same sound
         # walk the timeout path uses.
         self._finalise_attempts(outcome)
-        return self._anytime_result(states, frontier)
+        return self._anytime_result(states, frontier) or seed
 
     # ------------------------------------------------------------------
     @staticmethod
     def _worker_config(
         config: "MapperConfig", overrides: dict, ii: int,
-        remaining: float | None,
+        remaining: float | None, probe_override: int | None = None,
     ) -> "MapperConfig":
-        """Specialise the run's config for one (II, variant) worker."""
+        """Specialise the run's config for one (II, variant) worker.
+
+        Seeding and tuning are parent-side concerns: the parent already ran
+        the heuristic pre-pass and consulted the store, so workers get both
+        switched off (a worker re-seeding its single II would be pure
+        overhead and a worker re-recording would double-count races).
+        """
         fields: dict = dict(overrides)
         fields["search"] = "ladder"
         fields["cache_dir"] = None
         fields["max_ii"] = ii
         fields["verbose"] = False
+        fields["seed_heuristic"] = False
+        fields["tuner_dir"] = None
         if remaining is not None:
             fields["timeout"] = remaining
+        if (
+            probe_override is not None
+            and "amo_probe_conflicts" not in overrides
+            and config.amo_probe_conflicts is not None
+        ):
+            # Tuner-sized probe budget, applied only to lanes that keep the
+            # probe/escalation two-phase (sound: an inconclusive probe still
+            # escalates to the full encoding, whatever its budget).
+            fields["amo_probe_conflicts"] = probe_override
         return replace(config, **fields)
+
+    @staticmethod
+    def _record_tuner(
+        tuner, key: str, lane_log: list[dict], win_ii: int, winner,
+    ) -> None:
+        """Feed the settled race back into the lane store.
+
+        Only lanes that raced the *winning* II to a verdict carry signal:
+        the one whose outcome became the win is the winner, its settled
+        siblings are losses.  Lanes at other IIs (proof work) and cancelled
+        lanes (no verdict) are not scored.
+        """
+        results = [
+            {
+                "lane": entry["lane"],
+                "won": entry["outcome"] is winner,
+                "wall_s": entry["wall_s"],
+                "conflicts": entry["conflicts"],
+            }
+            for entry in lane_log
+            if entry["ii"] == win_ii
+        ]
+        tuner.record(key, results)
 
     @staticmethod
     def _cancel_moot(

@@ -1,0 +1,325 @@
+"""Adaptive lane scheduler: learn the portfolio line-up from traffic.
+
+The portfolio races several solver-configuration *lanes* at each II
+(:data:`repro.search.portfolio.PORTFOLIO_VARIANTS`).  Which lane wins is
+instance-dependent but far from random: kernels of a similar shape on the
+same fabric keep being won by the same lanes.  This module persists that
+signal — per-lane win/loss counts, wall time and winning conflict counts —
+keyed by a **(kernel-feature-vector, fabric-spec-hash)** digest, so the
+next request for a structurally similar problem starts with the
+historically strongest lanes first and a probe conflict budget sized to
+what past winners actually needed.
+
+The key is deliberately *coarser* than the mapping cache's: the cache must
+identify one exact problem, the tuner wants its statistics to generalise
+across kernels that merely look alike (same node/edge/recurrence counts,
+same opcode-class histogram).  Storage mirrors ``cache.py``'s discipline:
+one ``<key>.json`` per entry, atomic temp-file + rename writes, unreadable
+or mismatched entries deleted on load and counted, never raised — a tuner
+store can only make the portfolio smarter or leave it unchanged, never
+break a run.
+
+Exploration: a pure exploit-the-leader policy would starve cold lanes of
+samples forever.  Every :data:`EPSILON` fraction of requests (counted per
+key, persisted, so the cadence is deterministic and survives restarts),
+the least-sampled lane is promoted into the line-up's second slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import statistics
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.cgra.architecture import CGRA
+    from repro.dfg.graph import DFG
+
+#: Entry-format tag; bumping it invalidates every existing entry.
+SCHEMA = "satmapit-lanetuner/1"
+
+#: Exploration floor: one request in ``1/EPSILON`` promotes the
+#: least-sampled lane so cold lanes keep getting measured.
+EPSILON = 0.1
+
+#: Winning conflict counts kept per lane (rolling window).
+_CONFLICT_WINDOW = 20
+
+#: Clamp range for the suggested probe conflict budget.
+_PROBE_MIN, _PROBE_MAX = 200, 5000
+
+
+@dataclass
+class TunerStats:
+    """Counters for one tuner handle (reported per mapping run)."""
+
+    consults: int = 0
+    #: Consults that found no usable statistics for the key (cold start).
+    cold: int = 0
+    records: int = 0
+    #: Entries deleted because they could not be parsed or did not match
+    #: the schema/key their filename promised.
+    corrupted: int = 0
+    #: Consults where the epsilon-greedy floor promoted a cold lane.
+    explored: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.consults} consult(s) ({self.cold} cold), "
+            f"{self.records} record(s), {self.explored} explored, "
+            f"{self.corrupted} corrupted"
+        )
+
+
+@dataclass(frozen=True)
+class LaneChoice:
+    """Outcome of one line-up consultation."""
+
+    lineup: tuple[str, ...]
+    #: Whether persisted statistics actually informed the line-up.
+    consulted: bool
+    #: Suggested probe conflict budget for probing lanes (``None`` keeps
+    #: the configured default).
+    probe_conflicts: int | None
+
+
+def kernel_features(dfg: "DFG") -> dict:
+    """Shape signature of a kernel: structure, not identity.
+
+    Everything here is invariant under node renaming and constant changes,
+    so re-tuned variants of the same loop share statistics.
+    """
+    back_edges = dfg.back_edges()
+    opcode_histogram = Counter(node.opcode.value for node in dfg.nodes)
+    return {
+        "num_nodes": dfg.num_nodes,
+        "num_edges": dfg.num_edges,
+        "num_back_edges": len(back_edges),
+        "max_distance": max((e.distance for e in back_edges), default=0),
+        "opcodes": dict(sorted(opcode_histogram.items())),
+    }
+
+
+def tuner_key(dfg: "DFG", cgra: "CGRA") -> str:
+    """Digest of (kernel shape, fabric spec) addressing one statistics file."""
+    payload = {
+        "schema": SCHEMA,
+        "features": kernel_features(dfg),
+        "cgra": cgra.to_spec(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class LaneTuner:
+    """Disk-backed per-problem-class lane statistics, one JSON per key."""
+
+    def __init__(self, store_dir: str | os.PathLike,
+                 epsilon: float = EPSILON) -> None:
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.epsilon = epsilon
+        self.stats = TunerStats()
+
+    # ------------------------------------------------------------------
+    def key(self, dfg: "DFG", cgra: "CGRA") -> str:
+        return tuner_key(dfg, cgra)
+
+    def path_for(self, key: str) -> Path:
+        return self.store_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> dict | None:
+        """Read one entry; delete and count anything unusable."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._discard(path)
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != SCHEMA
+            or entry.get("key") != key
+            or not isinstance(entry.get("lanes"), dict)
+        ):
+            self._discard(path)
+            return None
+        return entry
+
+    def _discard(self, path: Path) -> None:
+        self.stats.corrupted += 1
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / unwritable dir
+            pass
+
+    # ------------------------------------------------------------------
+    def choose(
+        self,
+        key: str,
+        base_lineup: tuple[str, ...],
+        available: tuple[str, ...],
+    ) -> LaneChoice:
+        """Line-up for the next race, strongest known lanes first.
+
+        Lanes are ranked by win rate, ties broken by mean wall time; lanes
+        the store has never seen keep their ``base_lineup`` order behind
+        the ranked ones.  Unknown lane names in the store (removed
+        variants) are ignored.  On a cold key the base line-up is returned
+        untouched and ``consulted`` is ``False``.
+        """
+        self.stats.consults += 1
+        entry = self.load(key)
+        lanes = entry.get("lanes", {}) if entry else {}
+        known = [name for name in lanes if name in available]
+        if not entry or not known:
+            self.stats.cold += 1
+            return LaneChoice(tuple(base_lineup), False, None)
+
+        def samples(name: str) -> int:
+            record = lanes.get(name, {})
+            return record.get("wins", 0) + record.get("losses", 0)
+
+        def rank(name: str):
+            record = lanes[name]
+            total = samples(name)
+            win_rate = record.get("wins", 0) / total if total else 0.0
+            mean_wall = (
+                record.get("wall_s", 0.0) / total if total else float("inf")
+            )
+            return (-win_rate, mean_wall, name)
+
+        ranked = sorted(known, key=rank)
+        lineup = list(ranked) + [v for v in base_lineup if v not in ranked]
+
+        denominator = max(1, round(1 / self.epsilon))
+        if entry.get("requests", 0) % denominator == denominator - 1:
+            coldest = min(available, key=lambda v: (samples(v), v))
+            if len(lineup) > 1 and coldest not in lineup[:2]:
+                if coldest in lineup:
+                    lineup.remove(coldest)
+                lineup.insert(1, coldest)
+                self.stats.explored += 1
+
+        return LaneChoice(tuple(lineup), True, self._probe_suggestion(lanes))
+
+    @staticmethod
+    def _probe_suggestion(lanes: dict) -> int | None:
+        """Probe conflict budget sized to what past winners needed.
+
+        Twice the median winning conflict count, clamped: generous enough
+        that a typical winner concludes inside the probe, small enough that
+        a hopeless probe escalates quickly.  ``None`` (no winning samples)
+        keeps the configured default.
+        """
+        conflicts = [
+            c
+            for record in lanes.values()
+            for c in record.get("win_conflicts", [])
+            if isinstance(c, (int, float))
+        ]
+        if not conflicts:
+            return None
+        suggestion = int(2 * statistics.median(conflicts))
+        return max(_PROBE_MIN, min(_PROBE_MAX, suggestion))
+
+    # ------------------------------------------------------------------
+    def record(self, key: str, lane_results: list[dict]) -> None:
+        """Fold one settled race into the key's entry (atomic rewrite).
+
+        ``lane_results`` holds one dict per lane that raced the winning II
+        to a verdict: ``{"lane", "won", "wall_s", "conflicts"}``.
+        """
+        if not lane_results:
+            return
+        entry = self.load(key) or {
+            "schema": SCHEMA,
+            "key": key,
+            "requests": 0,
+            "lanes": {},
+        }
+        entry["requests"] = int(entry.get("requests", 0)) + 1
+        for result in lane_results:
+            lane = entry["lanes"].setdefault(
+                result["lane"],
+                {"wins": 0, "losses": 0, "wall_s": 0.0, "win_conflicts": []},
+            )
+            if result.get("won"):
+                lane["wins"] += 1
+                window = lane.setdefault("win_conflicts", [])
+                window.append(int(result.get("conflicts", 0)))
+                del window[:-_CONFLICT_WINDOW]
+            else:
+                lane["losses"] += 1
+            lane["wall_s"] = round(
+                lane.get("wall_s", 0.0) + float(result.get("wall_s", 0.0)), 4
+            )
+        entry["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        if self._write(key, entry):
+            self.stats.records += 1
+
+    def _write(self, key: str, entry: dict) -> bool:
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.store_dir, suffix=".tmp", delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle as stream:
+                json.dump(entry, stream, indent=2)
+                stream.write("\n")
+            os.replace(handle.name, path)
+        except OSError:  # pragma: no cover - disk-full style failures
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            return False
+        return True
+
+
+def aggregate_lane_stats(store_dir: str | os.PathLike) -> dict[str, dict]:
+    """Per-lane totals across every entry of a store (for reports).
+
+    Returns ``{lane: {"wins", "losses", "wall_s"}}``; unreadable entries
+    are skipped (reports must never fail on a dirty store).
+    """
+    totals: dict[str, dict] = {}
+    store = Path(store_dir)
+    if not store.is_dir():
+        return totals
+    for path in sorted(store.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(entry, dict) or entry.get("schema") != SCHEMA:
+            continue
+        lanes = entry.get("lanes")
+        if not isinstance(lanes, dict):
+            continue
+        for lane, record in lanes.items():
+            total = totals.setdefault(
+                lane, {"wins": 0, "losses": 0, "wall_s": 0.0}
+            )
+            total["wins"] += int(record.get("wins", 0))
+            total["losses"] += int(record.get("losses", 0))
+            total["wall_s"] = round(
+                total["wall_s"] + float(record.get("wall_s", 0.0)), 4
+            )
+    return totals

@@ -43,6 +43,46 @@ class TestCommonBehaviour:
             assert sat.ii <= heuristic.ii
 
 
+class TestResultValidation:
+    """Heuristic results pass the same legality oracle as the SAT path."""
+
+    class _BrokenScheduler(RampMapper):
+        """A mapper whose scheduler 'succeeds' with an illegal schedule."""
+
+        def _try_ii(self, dfg, cgra, ii, rng, start):
+            from repro.core.mapping import Mapping
+
+            mapping = Mapping(dfg=dfg, cgra=cgra, ii=ii)
+            # Pile every node onto PE 0 / cycle 0: a blatant resource
+            # conflict violations() must reject.
+            for node_id in dfg.node_ids:
+                mapping.place(node_id, 0, 0, 0)
+            return mapping
+
+    def test_illegal_schedule_is_never_reported_as_success(self):
+        outcome = self._BrokenScheduler(BaselineConfig(max_ii=4)).map(
+            paper_running_example(), CGRA.square(2)
+        )
+        assert not outcome.success
+        assert outcome.mapping is None
+        # Every II the broken scheduler "solved" is recorded as INVALID,
+        # not silently retried or reported as SAT.
+        assert outcome.attempts
+        assert all(a.status == "INVALID" for a in outcome.attempts)
+
+    @pytest.mark.parametrize("mapper_cls", [RampMapper, PathSeekerMapper])
+    def test_reported_mappings_pass_the_oracle(self, mapper_cls):
+        from repro.simulator import CGRASimulator
+
+        outcome = mapper_cls().map(paper_running_example(), CGRA.square(2))
+        assert outcome.success
+        assert outcome.mapping.violations() == []
+        simulation = CGRASimulator(
+            outcome.mapping, outcome.register_allocation
+        ).run(2)
+        assert simulation.success, simulation.errors
+
+
 class TestRampSpecifics:
     def test_deterministic_across_runs(self):
         dfg = get_kernel("srand")

@@ -81,7 +81,7 @@ class TestSuiteShape:
         ladder_pairs = {
             (case.kernel, case.size)
             for case in PINNED_SUITE
-            if case.search == "ladder" and not case.bounded
+            if case.search == "ladder" and not case.bounded and not case.seeded
         }
         portfolio_cases = [
             case for case in PINNED_SUITE if case.search == "portfolio"
@@ -89,6 +89,86 @@ class TestSuiteShape:
         assert portfolio_cases, "the pinned suite must race a portfolio case"
         for case in portfolio_cases:
             assert (case.kernel, case.size) in ladder_pairs, case.name
+
+    def test_seeded_cases_have_unseeded_twins(self):
+        """Every seeded case needs its same-(kernel, size, search) unseeded
+        twin so run_suite can annotate speedup_vs_unseeded."""
+        unseeded = {
+            (case.kernel, case.size, case.search)
+            for case in PINNED_SUITE
+            if not case.bounded and not case.seeded
+        }
+        seeded_cases = [case for case in PINNED_SUITE if case.seeded]
+        assert len(seeded_cases) >= 2, (
+            "the pinned suite must measure at least two seeded twins"
+        )
+        for case in seeded_cases:
+            assert (case.kernel, case.size, case.search) in unseeded, case.name
+
+
+class TestSuiteAnnotations:
+    """run_suite derives twin speedups and throughput from the records."""
+
+    def _suite_doc(self, monkeypatch, results: dict[str, dict]):
+        from repro.experiments import perf
+
+        def fake_run_case(case, repeats=3):
+            record = {
+                "name": case.name,
+                "kernel": case.kernel,
+                "size": case.size,
+                "bounded": case.bounded,
+                "search": case.search,
+                "seeded": case.seeded,
+                "status": "mapped",
+                "ii": 3,
+                "wall_s": 1.0,
+                "solve_s": 0.5,
+                "encode_s": 0.1,
+                "conflicts": 10,
+                "propagations": 100,
+            }
+            record.update(results.get(case.name, {}))
+            return record
+
+        monkeypatch.setattr(perf, "run_case", fake_run_case)
+        return perf
+
+    def test_speedup_vs_unseeded_annotation(self, monkeypatch):
+        perf = self._suite_doc(
+            monkeypatch,
+            {"gsm@2x2": {"wall_s": 2.0}, "gsm@2x2!seeded": {"wall_s": 0.5}},
+        )
+        doc = perf.run_suite("quick", repeats=1)
+        by_name = {record["name"]: record for record in doc["cases"]}
+        assert by_name["gsm@2x2!seeded"]["speedup_vs_unseeded"] == 4.0
+        assert "speedup_vs_unseeded" not in by_name["gsm@2x2"]
+
+    def test_kernels_mapped_per_minute_total(self, monkeypatch):
+        perf = self._suite_doc(monkeypatch, {})
+        doc = perf.run_suite("quick", repeats=1)
+        completing = [
+            record
+            for record in doc["cases"]
+            if not record["bounded"] and record["status"] == "mapped"
+        ]
+        wall = sum(record["wall_s"] for record in completing)
+        expected = round(60.0 * len(completing) / wall, 2)
+        assert doc["totals"]["kernels_mapped_per_minute"] == expected
+        assert expected > 0
+
+    def test_bounded_probes_excluded_from_throughput(self, monkeypatch):
+        perf = self._suite_doc(
+            monkeypatch,
+            {
+                "sha@2x2#c1500": {"wall_s": 1000.0, "status": "timeout"},
+                "sha2@2x2#c1500": {"wall_s": 1000.0, "status": "timeout"},
+            },
+        )
+        doc = perf.run_suite("quick", repeats=1)
+        # Three completing 1s cases — 3 kernels per 3 s of mapper wall, i.e.
+        # 60/minute — regardless of the huge bounded-probe walls.
+        assert doc["totals"]["kernels_mapped_per_minute"] == 60.0
 
 
 @pytest.mark.slow

@@ -163,8 +163,72 @@ class TestInvalidationAndRecovery:
         assert again.ii == first.ii
 
     def test_stats_summary_mentions_all_counters(self):
-        text = CacheStats(hits=1, misses=2, writes=3).summary()
+        text = CacheStats(hits=1, misses=2, writes=3, evicted=4).summary()
         assert "1 hit(s)" in text and "2 miss(es)" in text
+        assert "4 evicted" in text
+
+
+class TestSizeBudget:
+    """--cache-max-mb: oldest-entry-first pruning."""
+
+    @pytest.fixture()
+    def outcome(self):
+        return SatMapItMapper(MapperConfig(timeout=60, random_seed=0)).map(
+            get_kernel("srand"), CGRA.square(3)
+        )
+
+    def _entry_size(self, tmp_path, outcome) -> int:
+        probe = MappingCache(tmp_path / "probe")
+        return probe.store("f" * 64, outcome).stat().st_size
+
+    def test_oldest_entries_evicted_first(self, tmp_path, outcome):
+        import os
+
+        size = self._entry_size(tmp_path, outcome)
+        cache = MappingCache(
+            tmp_path / "real", max_mb=2.5 * size / (1024 * 1024)
+        )
+        keys = [f"{i:064x}" for i in range(3)]
+        for age, key in enumerate(keys):
+            path = cache.store(key, outcome)
+            assert path is not None
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        # Three entries against a 2.5-entry budget: the oldest one went.
+        assert cache.stats.evicted == 1
+        assert not cache.path_for(keys[0]).exists()
+        assert cache.path_for(keys[1]).exists()
+        assert cache.path_for(keys[2]).exists()
+
+    def test_just_written_entry_is_exempt(self, tmp_path, outcome):
+        size = self._entry_size(tmp_path, outcome)
+        # Budget below a single entry: the fresh write must survive anyway.
+        cache = MappingCache(
+            tmp_path / "real", max_mb=0.5 * size / (1024 * 1024)
+        )
+        first = cache.store("0" * 64, outcome)
+        assert first is not None and first.exists()
+        assert cache.stats.evicted == 0
+        # The next write evicts the previous entry, never itself.
+        second = cache.store("1" * 64, outcome)
+        assert second.exists()
+        assert not first.exists()
+        assert cache.stats.evicted == 1
+
+    def test_no_budget_never_evicts(self, tmp_path, outcome):
+        cache = MappingCache(tmp_path)
+        for i in range(3):
+            cache.store(f"{i:064x}", outcome)
+        assert cache.stats.evicted == 0
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_budget_flows_through_mapper_config(self, tmp_path):
+        outcome = _map("srand", tmp_path, cache_max_mb=0.000001)
+        assert outcome.success
+        # The sole (oversized) entry is kept — the keep exemption — and the
+        # next identical run still hits it.
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        again = _map("srand", tmp_path, cache_max_mb=0.000001)
+        assert again.cache_hit
 
 
 @pytest.mark.parametrize("kernel", ["srand", "stringsearch", "nw", "basicmath"])

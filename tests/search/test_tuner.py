@@ -1,0 +1,170 @@
+"""Lane tuner: keying, round trips, exploration, recovery, integration."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.kernels import get_kernel
+from repro.search.tuner import (
+    LaneTuner,
+    aggregate_lane_stats,
+    kernel_features,
+    tuner_key,
+)
+
+KEY = "0" * 64
+
+
+def _race(winner: str, losers: tuple[str, ...], conflicts: int = 100):
+    results = [
+        {"lane": winner, "won": True, "wall_s": 0.5, "conflicts": conflicts}
+    ]
+    results += [
+        {"lane": loser, "won": False, "wall_s": 1.5, "conflicts": 0}
+        for loser in losers
+    ]
+    return results
+
+
+class TestTunerKey:
+    def test_key_is_deterministic_and_shape_sensitive(self):
+        gsm, cgra = get_kernel("gsm"), CGRA.square(2)
+        assert tuner_key(gsm, cgra) == tuner_key(gsm, cgra)
+        assert tuner_key(gsm, cgra) != tuner_key(get_kernel("nw"), cgra)
+        assert tuner_key(gsm, cgra) != tuner_key(gsm, CGRA.square(3))
+
+    def test_features_are_structural(self):
+        features = kernel_features(get_kernel("gsm"))
+        assert features["num_nodes"] == get_kernel("gsm").num_nodes
+        assert isinstance(features["opcodes"], dict)
+        json.dumps(features)  # must be plain data
+
+
+class TestChooseAndRecord:
+    def test_cold_key_keeps_base_lineup(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        choice = tuner.choose(KEY, ("a", "b"), ("a", "b"))
+        assert choice.lineup == ("a", "b")
+        assert not choice.consulted
+        assert choice.probe_conflicts is None
+        assert tuner.stats.consults == 1 and tuner.stats.cold == 1
+
+    def test_winning_lane_is_promoted(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        for _ in range(3):
+            tuner.record(KEY, _race("b", ("a",)))
+        choice = tuner.choose(KEY, ("a", "b"), ("a", "b"))
+        assert choice.consulted
+        assert choice.lineup[0] == "b"
+        assert tuner.stats.records == 3
+
+    def test_unknown_stored_lanes_are_ignored(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.record(KEY, _race("removed-variant", ()))
+        choice = tuner.choose(KEY, ("a", "b"), ("a", "b"))
+        assert not choice.consulted  # nothing usable for the available lanes
+        assert choice.lineup == ("a", "b")
+
+    def test_probe_suggestion_tracks_winning_conflicts(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.record(KEY, _race("a", ("b",), conflicts=700))
+        choice = tuner.choose(KEY, ("a", "b"), ("a", "b"))
+        assert choice.probe_conflicts == 1400  # 2 x median
+
+    def test_probe_suggestion_is_clamped(self, tmp_path):
+        low = LaneTuner(tmp_path / "low")
+        low.record(KEY, _race("a", (), conflicts=3))
+        assert low.choose(KEY, ("a",), ("a",)).probe_conflicts == 200
+        high = LaneTuner(tmp_path / "high")
+        high.record(KEY, _race("a", (), conflicts=100_000))
+        assert high.choose(KEY, ("a",), ("a",)).probe_conflicts == 5000
+
+    def test_exploration_promotes_least_sampled_lane(self, tmp_path):
+        tuner = LaneTuner(tmp_path, epsilon=1.0)  # explore on every request
+        tuner.record(KEY, _race("a", ("b",)))
+        choice = tuner.choose(KEY, ("a", "b", "c"), ("a", "b", "c"))
+        assert choice.consulted
+        assert choice.lineup[1] == "c"  # never-sampled lane gets slot 2
+        assert tuner.stats.explored == 1
+
+    def test_requests_counter_persists(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.record(KEY, _race("a", ("b",)))
+        tuner.record(KEY, _race("a", ("b",)))
+        entry = LaneTuner(tmp_path).load(KEY)
+        assert entry["requests"] == 2
+        assert entry["lanes"]["a"]["wins"] == 2
+        assert entry["lanes"]["b"]["losses"] == 2
+
+
+class TestRecovery:
+    def test_corrupted_entry_is_deleted_and_counted(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.path_for(KEY).write_text("{not json")
+        choice = tuner.choose(KEY, ("a",), ("a",))
+        assert not choice.consulted
+        assert tuner.stats.corrupted == 1
+        assert not tuner.path_for(KEY).exists()
+        # ... and the key is usable again afterwards.
+        tuner.record(KEY, _race("a", ()))
+        assert tuner.choose(KEY, ("a",), ("a",)).consulted
+
+    def test_schema_mismatch_is_discarded(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.record(KEY, _race("a", ()))
+        entry = json.loads(tuner.path_for(KEY).read_text())
+        entry["schema"] = "something-else"
+        tuner.path_for(KEY).write_text(json.dumps(entry))
+        assert not tuner.choose(KEY, ("a",), ("a",)).consulted
+        assert tuner.stats.corrupted == 1
+
+    def test_aggregate_skips_dirty_entries(self, tmp_path):
+        tuner = LaneTuner(tmp_path)
+        tuner.record(KEY, _race("a", ("b",)))
+        (tmp_path / ("1" * 64 + ".json")).write_text("junk")
+        totals = aggregate_lane_stats(tmp_path)
+        assert totals["a"]["wins"] == 1
+        assert totals["b"]["losses"] == 1
+
+    def test_aggregate_on_missing_store(self, tmp_path):
+        assert aggregate_lane_stats(tmp_path / "nope") == {}
+
+
+class TestTunerIntegration:
+    def test_second_portfolio_run_consults_persisted_stats(self, tmp_path):
+        def run():
+            return SatMapItMapper(
+                MapperConfig(
+                    timeout=120,
+                    random_seed=0,
+                    search="portfolio",
+                    search_jobs=2,
+                    tuner_dir=str(tmp_path),
+                )
+            ).map(get_kernel("gsm"), CGRA.square(2))
+
+        first = run()
+        assert first.success
+        assert not first.tuner_consulted  # cold start
+        assert first.tuner_stats.records == 1
+        second = run()
+        assert second.success and second.ii == first.ii
+        assert second.tuner_consulted
+        assert second.tuner_lineup  # the consulted line-up is reported
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        entry = json.loads(entries[0].read_text())
+        assert entry["requests"] == 2
+
+    def test_workers_do_not_recurse_into_seeding_or_tuning(self, tmp_path):
+        from repro.search.portfolio import PortfolioStrategy
+
+        config = MapperConfig(
+            seed_heuristic=True, tuner_dir=str(tmp_path), search="portfolio"
+        )
+        worker = PortfolioStrategy._worker_config(config, {}, ii=4,
+                                                  remaining=10.0)
+        assert worker.seed_heuristic is False
+        assert worker.tuner_dir is None
