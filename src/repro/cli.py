@@ -47,7 +47,11 @@ from repro.experiments.tables import (
 )
 from repro.frontend import compile_loop
 from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
-from repro.sat.backend import available_backends
+from repro.sat.backend import (
+    BackendUnavailableError,
+    available_backends,
+    validate_backend,
+)
 from repro.sat.encodings import AMOEncoding
 from repro.search import available_strategies
 from repro.search.portfolio import PORTFOLIO_VARIANTS
@@ -75,12 +79,40 @@ def _load_cgra(args: argparse.Namespace) -> CGRA:
     return CGRA(rows=args.rows, cols=args.cols, registers_per_pe=args.registers)
 
 
+def _backend_error(args: argparse.Namespace) -> str | None:
+    """One clear line for a bad ``--backend`` / ``--proof`` combination.
+
+    Checked before any mapping work (or worker processes) start: a missing
+    external binary, an unknown registry name, or a proof request against a
+    solver that cannot emit DRAT.
+    """
+    try:
+        validate_backend(args.backend)
+    except (BackendUnavailableError, ValueError) as exc:
+        return str(exc)
+    if args.proof:
+        from repro.sat.external import is_external_backend, resolve_spec
+
+        if is_external_backend(args.backend):
+            spec = resolve_spec(args.backend)
+            if not spec.supports_proof:
+                return (
+                    f"backend {args.backend!r} cannot emit DRAT proofs; "
+                    "drop --proof or pick a proof-capable solver"
+                )
+    return None
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     dfg = _load_dfg(args)
     try:
         cgra = _load_cgra(args)
     except ArchitectureError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    error = _backend_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     config_fields = dict(
         timeout=args.timeout,
@@ -96,6 +128,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
         seed_heuristic=args.seed_heuristic,
         seed_time_budget=args.seed_budget,
         tuner_dir=args.tuner,
+        dimacs_dir=args.dimacs_dir,
+        reuse_dimacs=args.reuse_dimacs,
+        proof=args.proof,
     )
     if args.portfolio_variants:
         config_fields["portfolio_variants"] = tuple(args.portfolio_variants)
@@ -108,8 +143,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
         profiler.enable()
     try:
         outcome = mapper.map(dfg, cgra)
-    except MappingError as exc:
-        # E.g. the kernel's opcode histogram cannot fit the fabric at any II.
+    except (MappingError, BackendUnavailableError) as exc:
+        # E.g. the kernel's opcode histogram cannot fit the fabric at any
+        # II, or an external solver lane lost its binary mid-run.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -163,6 +199,30 @@ def _cmd_map(args: argparse.Namespace) -> int:
             f"-{outcome.pre_vars_eliminated} vars in "
             f"{outcome.preprocess_time:.3f}s"
         )
+    if args.proof and not outcome.cache_hit:
+        digests = [
+            (attempt.ii, attempt.proof_digest)
+            for attempt in outcome.attempts
+            if attempt.proof_digest
+        ]
+        if digests:
+            import os
+
+            ii, digest = digests[-1]
+            # Without --dimacs-dir an external backend's trace lives in a
+            # throwaway temp dir that is gone by now; only advertise paths
+            # that survived the run.
+            location = (
+                f" — trace: {outcome.proof_path}"
+                if outcome.proof_path and os.path.exists(outcome.proof_path)
+                else ""
+            )
+            print(
+                f"proof: {len(digests)} UNSAT attempt(s) logged, "
+                f"last II={ii} digest {digest[:16]}…{location}"
+            )
+        else:
+            print("proof: no UNSAT attempts (nothing to certify)")
     if outcome.mapping is not None:
         print()
         print(render_mapping_report(outcome.mapping, outcome.register_allocation))
@@ -176,6 +236,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    error = _backend_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     config = ExperimentConfig(
         kernels=tuple(args.kernels),
         sizes=tuple(args.sizes),
@@ -191,6 +255,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_max_mb=args.cache_max_mb,
         seed_heuristic=args.seed_heuristic,
         tuner_dir=args.tuner,
+        dimacs_dir=args.dimacs_dir,
+        reuse_dimacs=args.reuse_dimacs,
+        proof=args.proof,
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
           f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
@@ -278,8 +345,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the found mapping as JSON for archiving "
                               "and simulator replay")
     map_cmd.add_argument("--timeout", type=float, default=120.0)
-    map_cmd.add_argument("--backend", choices=available_backends(), default="cdcl",
-                         help="solver backend (default: cdcl)")
+    map_cmd.add_argument("--backend", default="cdcl", metavar="NAME",
+                         help="solver backend: one of "
+                              f"{', '.join(available_backends())}, or "
+                              "'external:/path/to/solver' for any "
+                              "DIMACS-speaking binary (default: cdcl)")
+    map_cmd.add_argument("--dimacs-dir", metavar="DIR",
+                         help="keep every DIMACS export (and DRAT trace) "
+                              "under DIR instead of a throwaway temp dir; "
+                              "files are content-addressed, so reruns of "
+                              "the same formula land on the same name")
+    map_cmd.add_argument("--reuse-dimacs", action="store_true",
+                         help="with --dimacs-dir: skip rewriting a CNF file "
+                              "that already exists under its content hash")
+    map_cmd.add_argument("--proof", action="store_true",
+                         help="log a DRAT proof for every UNSAT attempt "
+                              "(internal cdcl backend and proof-capable "
+                              "external solvers); attempt digests are "
+                              "recorded in the outcome and mapping cache")
     map_cmd.add_argument("--seed", type=int, default=None,
                          help="random seed forwarded to the solver")
     map_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],
@@ -343,8 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--pathseeker-repeats", type=int, default=3)
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="run the sweep on N parallel processes")
-    sweep_cmd.add_argument("--backend", choices=available_backends(), default="cdcl",
-                           help="solver backend for SAT-MapIt (default: cdcl)")
+    sweep_cmd.add_argument("--backend", default="cdcl", metavar="NAME",
+                           help="solver backend for SAT-MapIt: one of "
+                                f"{', '.join(available_backends())}, or "
+                                "'external:/path/to/solver' "
+                                "(default: cdcl)")
+    sweep_cmd.add_argument("--dimacs-dir", metavar="DIR",
+                           help="keep DIMACS exports / DRAT traces under DIR "
+                                "(content-addressed filenames)")
+    sweep_cmd.add_argument("--reuse-dimacs", action="store_true",
+                           help="with --dimacs-dir: skip rewriting CNF files "
+                                "that already exist under their content hash")
+    sweep_cmd.add_argument("--proof", action="store_true",
+                           help="log DRAT proofs for UNSAT attempts in the "
+                                "SAT-MapIt runs")
     sweep_cmd.add_argument("--seed", type=int, default=None,
                            help="random seed forwarded to the SAT-MapIt solver")
     sweep_cmd.add_argument("--amo-encoding", choices=[e.value for e in AMOEncoding],

@@ -94,8 +94,26 @@ class MapperConfig:
     #: probe.  Sound because each phase is its own selector-guarded group.
     amo_probe_conflicts: int | None = 600
     #: Solver backend name (see :mod:`repro.sat.backend`); ``"cdcl"`` is the
-    #: production engine, ``"dpll"`` the slow reference oracle.
+    #: production engine, ``"dpll"`` the slow reference oracle.  External
+    #: engines (``"kissat"``, ``"minisat"``, the bundled ``"subprocess"``,
+    #: or ``"external:<path>"``; see :mod:`repro.sat.external`) solve
+    #: DIMACS exports in a subprocess — they require ``incremental=True``
+    #: and are driven through assumption unit cubes.
     backend: str = "cdcl"
+    #: Directory for DIMACS artefacts (see :mod:`repro.sat.dimacs`).  For
+    #: external backends every solve call's formula (and any DRAT proof)
+    #: lands here under a content-addressed name; ``None`` keeps them in a
+    #: per-backend temporary directory.
+    dimacs_dir: str | None = None
+    #: Skip re-writing a DIMACS export whose content-addressed file already
+    #: exists in ``dimacs_dir`` — amortises export I/O across re-runs of
+    #: the same problem.
+    reuse_dimacs: bool = False
+    #: Emit DRAT proofs (see :mod:`repro.sat.drat`): the internal CDCL logs
+    #: learned clauses/deletions, external solvers that support DRAT get a
+    #: proof path on their command line.  UNSAT attempts then record a
+    #: proof digest and ``MappingOutcome.proof_path`` names the trace.
+    proof: bool = False
     #: Run the SatELite-style preprocessor (see :mod:`repro.sat.preprocess`)
     #: over every formula before solving.  Selector and placement variables
     #: are frozen so assumption-based attempt retirement and model decoding
@@ -212,6 +230,10 @@ class IIAttempt:
     #: unseeded runs): the II of the validated heuristic mapping bounding
     #: the search from above — every seeded attempt probes strictly below.
     seed_ceiling: int | None = None
+    #: SHA-256 digest of the DRAT trace backing an UNSAT answer (``None``
+    #: unless proof logging was on and the attempt ended UNSAT).  Cache
+    #: entries persist these so served lower bounds stay checkable.
+    proof_digest: str | None = None
 
     def record_solve(self, stats) -> None:
         """Fold one solve call's :class:`SolverStats` into this attempt."""
@@ -273,6 +295,10 @@ class MappingOutcome:
     tuner_consulted: bool = False
     tuner_lineup: tuple[str, ...] | None = None
     tuner_stats: object | None = None
+    #: Path of the most recent DRAT trace emitted during the run (``None``
+    #: unless ``MapperConfig.proof`` was on and an UNSAT attempt produced
+    #: one); per-attempt digests live in ``IIAttempt.proof_digest``.
+    proof_path: str | None = None
 
     @property
     def incremental_resolves(self) -> int:
@@ -387,7 +413,23 @@ class SatMapItMapper:
         mii = effective_minimum_ii(dfg, cgra)
         first_ii = max(start_ii or mii, 1)
         backend_name = config.backend
-        if config.preprocess and not backend_name.endswith("+preprocess"):
+        from repro.sat.external import is_external_backend
+
+        if is_external_backend(backend_name):
+            # External engines are one-shot subprocesses steered by unit
+            # cubes; the non-incremental path and the preprocessor both
+            # assume an in-process solver.
+            if not config.incremental:
+                raise MappingError(
+                    f"backend {backend_name!r} requires incremental mode"
+                )
+            if config.preprocess:
+                raise MappingError(
+                    f"backend {backend_name!r} does not compose with the "
+                    "preprocessor (the simplifier rewrites the formula the "
+                    "export and any proof must refer to)"
+                )
+        elif config.preprocess and not backend_name.endswith("+preprocess"):
             backend_name = f"{backend_name}+preprocess"
         strategy = create_strategy(config.search)
         outcome = MappingOutcome(
@@ -571,6 +613,11 @@ class SatMapItMapper:
                 and probe_budget is not None
                 and (conflict_limit is None or conflict_limit > probe_budget)
                 and not (backend is None and config.preprocess)
+                # Escalation keys on the probe's *conflict count* reaching
+                # the budget; engines that cannot report conflicts (external
+                # subprocesses, the DPLL oracle) would make every hard probe
+                # look inconclusive-for-free, so they skip probing entirely.
+                and (backend is None or getattr(backend, "instrumented", True))
             )
             first_amo = AMOEncoding.SEQUENTIAL if probing else config.amo_encoding
             encoding, selector = encode_group(first_amo)
@@ -734,6 +781,7 @@ class SatMapItMapper:
                     break
                 if result.is_unsat:
                     attempt.status = "UNSAT"
+                    self._record_proof(attempt, outcome, backend, fresh_solver)
                     self._log(f"II={ii} slack={slack}: UNSAT "
                               f"({attempt.num_clauses} clauses)")
                     break
@@ -820,6 +868,28 @@ class SatMapItMapper:
         if backend is not None:
             return backend.stats.clauses_added
         return fresh_solver.clauses_added if fresh_solver is not None else 0
+
+    @staticmethod
+    def _record_proof(attempt, outcome, backend, fresh_solver) -> None:
+        """Attach the backing DRAT evidence to an UNSAT attempt.
+
+        Backends that log proofs expose ``proof_digest()`` (the internal
+        CDCL's running trace digest, or an external solver's digest of its
+        last emitted trace); attempts and the outcome record digest and
+        path so cached lower bounds stay independently checkable.
+        """
+        source = backend if backend is not None else fresh_solver
+        digest_fn = getattr(source, "proof_digest", None)
+        if digest_fn is None:
+            return
+        digest = digest_fn()
+        if digest:
+            attempt.proof_digest = digest
+        path = getattr(source, "last_proof_path", None) or getattr(
+            source, "proof_path", None
+        )
+        if path:
+            outcome.proof_path = str(path)
 
     @staticmethod
     def _block_overloaded_pe(encoding, mapping: Mapping, allocation, sink) -> int:

@@ -100,6 +100,14 @@ class ExperimentConfig:
     seed_heuristic: bool = False
     #: Persistent lane-tuner store for portfolio runs (``None`` disables).
     tuner_dir: str | None = None
+    #: Keep DIMACS exports / DRAT traces under this directory
+    #: (see :mod:`repro.sat.dimacs`); ``None`` uses throwaway temp files.
+    dimacs_dir: str | None = None
+    #: With ``dimacs_dir``: skip rewriting content-addressed CNF files that
+    #: already exist.
+    reuse_dimacs: bool = False
+    #: Log DRAT proofs for UNSAT attempts in the SAT-MapIt runs.
+    proof: bool = False
 
 
 @dataclass
@@ -231,6 +239,9 @@ def build_mapper(name: str, config: ExperimentConfig, seed: int | None = None):
                 cache_max_mb=config.cache_max_mb,
                 seed_heuristic=config.seed_heuristic,
                 tuner_dir=config.tuner_dir,
+                dimacs_dir=config.dimacs_dir,
+                reuse_dimacs=config.reuse_dimacs,
+                proof=config.proof,
             )
         )
     if name == RAMP:

@@ -18,6 +18,14 @@ This package is a self-contained SAT toolkit used by the SAT-MapIt core:
   bounded variable elimination) with model reconstruction, available both as
   a one-shot :func:`simplify` and as the :class:`PreprocessingBackend`
   registry entries ``cdcl+preprocess`` / ``dpll+preprocess``.
+* :mod:`repro.sat.dimacs` — named DIMACS export/import (``c varmap``
+  comments + sidecar JSON) so encoded attempts round-trip through external
+  solvers without losing model projection.
+* :mod:`repro.sat.external` — the :class:`SubprocessBackend` registry
+  entries ``kissat`` / ``cadical`` / ``minisat`` / ``subprocess`` (bundled
+  :mod:`repro.sat.pysolver`) / ``external:<path>``.
+* :mod:`repro.sat.drat` — DRAT proof logging, a bundled forward proof
+  checker, and the optional ``drat-trim`` hook.
 
 Literals follow the DIMACS convention: variables are positive integers and a
 negative integer denotes the negation of the corresponding variable.
@@ -25,15 +33,25 @@ negative integer denotes the negation of the corresponding variable.
 
 from repro.sat.backend import (
     BackendStats,
+    BackendUnavailableError,
     CDCLBackend,
     DPLLBackend,
     SolverBackend,
     available_backends,
+    backend_instrumented,
     create_backend,
     register_backend,
+    validate_backend,
 )
 from repro.sat.cnf import CNF, Clause
+from repro.sat.dimacs import DimacsDocument, VarMap
 from repro.sat.dpll import DPLLSolver
+from repro.sat.drat import ProofLogger, check_proof
+from repro.sat.external import (
+    ExternalSolverError,
+    ExternalSolverSpec,
+    SubprocessBackend,
+)
 from repro.sat.encodings import (
     AMOEncoding,
     at_least_one,
@@ -62,12 +80,22 @@ __all__ = [
     "SolverResult",
     "SolverStats",
     "BackendStats",
+    "BackendUnavailableError",
     "CDCLBackend",
     "DPLLBackend",
     "SolverBackend",
+    "SubprocessBackend",
+    "ExternalSolverError",
+    "ExternalSolverSpec",
+    "DimacsDocument",
+    "VarMap",
+    "ProofLogger",
+    "check_proof",
     "available_backends",
+    "backend_instrumented",
     "create_backend",
     "register_backend",
+    "validate_backend",
     "PreprocessConfig",
     "PreprocessingBackend",
     "PreprocessStats",

@@ -31,7 +31,29 @@ from typing import Protocol, runtime_checkable
 
 from repro.sat.cnf import CNF
 from repro.sat.dpll import DPLLSolver
+from repro.sat.drat import ProofLogger
 from repro.sat.solver import CDCLSolver, SolverResult, SolverStats
+
+#: Prefix selecting an arbitrary external solver binary: ``external:<path>``.
+EXTERNAL_PREFIX = "external:"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A requested solver backend exists but cannot run here.
+
+    Raised by :func:`create_backend` (and the eager validators) when an
+    external solver binary is absent, instead of failing deep inside
+    ``subprocess`` at the first solve call.  Carries the missing binary name
+    and an actionable install hint; the CLI surfaces it as a one-line error.
+    """
+
+    def __init__(self, binary: str, hint: str = "") -> None:
+        self.binary = binary
+        self.hint = hint
+        message = f"solver backend unavailable: {binary!r} not found"
+        if hint:
+            message += f" ({hint})"
+        super().__init__(message)
 
 
 @dataclass
@@ -111,10 +133,24 @@ class CDCLBackend:
     """The production backend: incremental CDCL with cumulative stats."""
 
     name = "cdcl"
+    #: This engine populates solver-core counters (conflicts, propagations)
+    #: that budget probing and bench rate metrics are derived from.
+    instrumented = True
 
-    def __init__(self, **solver_kwargs) -> None:
-        self._solver = CDCLSolver(**solver_kwargs)
+    def __init__(self, proof_path: str | None = None, **solver_kwargs) -> None:
+        #: Optional DRAT trace (see :mod:`repro.sat.drat`): every learned
+        #: clause and database deletion is logged, so an UNSAT answer ships
+        #: with an independently checkable derivation.
+        self.proof_path = proof_path
+        self._proof = ProofLogger(proof_path) if proof_path is not None else None
+        self._solver = CDCLSolver(proof=self._proof, **solver_kwargs)
         self.stats = BackendStats()
+
+    def proof_digest(self) -> str | None:
+        """Running SHA-256 over the DRAT trace emitted so far."""
+        if self._proof is None or self._proof.additions == 0:
+            return None
+        return self._proof.digest()
 
     @property
     def num_vars(self) -> int:
@@ -191,6 +227,9 @@ class DPLLBackend:
     """
 
     name = "dpll"
+    #: The oracle reports decisions but no conflict/propagation counters,
+    #: so budget probing and rate metrics must not be derived from it.
+    instrumented = False
 
     def __init__(self, random_seed: int | None = None, **_ignored) -> None:
         # The oracle is deterministic; the seed is accepted (and ignored) so
@@ -201,6 +240,11 @@ class DPLLBackend:
     @property
     def num_vars(self) -> int:
         return self._cnf.num_vars
+
+    @property
+    def accumulated_cnf(self) -> CNF:
+        """The accumulated clause set (for DIMACS export)."""
+        return self._cnf
 
     def new_var(self) -> int:
         self.stats.variables_added += 1
@@ -263,13 +307,23 @@ class DPLLBackend:
 BackendFactory = Callable[..., SolverBackend]
 
 _REGISTRY: dict[str, BackendFactory] = {}
+_INSTRUMENTED: dict[str, bool] = {}
 
 
-def register_backend(name: str, factory: BackendFactory) -> None:
-    """Register a backend factory under ``name`` (overwrites silently)."""
+def register_backend(
+    name: str, factory: BackendFactory, instrumented: bool = True
+) -> None:
+    """Register a backend factory under ``name`` (overwrites silently).
+
+    ``instrumented=False`` marks engines that cannot report solver-core
+    counters (external subprocesses, the DPLL oracle): the mapper skips
+    conflict-budget probing for them and the perf harness reports ``null``
+    rates instead of zeros that look like measurements.
+    """
     if not name:
         raise ValueError("backend name must be non-empty")
     _REGISTRY[name] = factory
+    _INSTRUMENTED[name] = instrumented
 
 
 def available_backends() -> list[str]:
@@ -277,8 +331,25 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def backend_instrumented(name: str) -> bool:
+    """Whether ``name`` populates conflict/propagation counters."""
+    if name.startswith(EXTERNAL_PREFIX):
+        return False
+    return _INSTRUMENTED.get(name, True)
+
+
 def create_backend(name: str, **kwargs) -> SolverBackend:
-    """Instantiate a registered backend by name."""
+    """Instantiate a registered backend by name.
+
+    ``external:<path>`` names bypass the registry and run the named binary
+    through the subprocess layer.  Raises :class:`ValueError` for unknown
+    names and :class:`BackendUnavailableError` when the backend is known but
+    its binary is missing.
+    """
+    if name.startswith(EXTERNAL_PREFIX):
+        from repro.sat import external  # local import: external imports us
+
+        return external.create_external_backend(name, **kwargs)
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -288,5 +359,23 @@ def create_backend(name: str, **kwargs) -> SolverBackend:
     return factory(**kwargs)
 
 
+def validate_backend(name: str) -> None:
+    """Eagerly check that ``name`` is known and runnable.
+
+    Raises the same errors :func:`create_backend` would, without building a
+    backend — the CLI and the portfolio lane validator call this up front so
+    a missing binary fails as one clear line, not deep inside a worker.
+    """
+    from repro.sat import external  # local import: external imports us
+
+    if external.is_external_backend(name):
+        external.resolve_spec(name)
+        return
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown solver backend {name!r}; available: {available_backends()}"
+        )
+
+
 register_backend("cdcl", CDCLBackend)
-register_backend("dpll", DPLLBackend)
+register_backend("dpll", DPLLBackend, instrumented=False)

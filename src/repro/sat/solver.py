@@ -162,12 +162,21 @@ class CDCLSolver:
         initial_phase: bool = False,
         activity_hints: dict[int, float] | None = None,
         phase_hints: dict[int, bool] | None = None,
+        proof: "object | None" = None,
     ) -> None:
         self.var_decay = var_decay
         self.clause_decay = clause_decay
         self.restart_base = restart_base
         self.learned_limit_base = learned_limit_base
         self.random_seed = random_seed
+        #: Optional :class:`repro.sat.drat.ProofLogger`.  When set, every
+        #: learned clause (all 1-UIP derivations are RUP, hence DRAT) and
+        #: every database deletion is logged; UNSAT under assumptions logs
+        #: the negated assumption cube as its final addition.  Deletions
+        #: outside ``_reduce_learned`` (e.g. retire-time simplification) are
+        #: deliberately not logged — omitting a deletion only leaves extra
+        #: verified clauses in the checker, which is always sound.
+        self.proof = proof
         #: Polarity tried first for a variable that has never been assigned.
         #: ``True`` makes the search constructive (useful for placement-style
         #: exactly-one formulas), ``False`` is the classic MiniSat default.
@@ -495,6 +504,8 @@ class CDCLSolver:
         if not self._unsat and self._propagate() is not None:
             self._unsat = True
         if self._unsat:
+            if self.proof is not None:
+                self._proof_add(())
             self._fill_stats(propagations_start, bin_props_start,
                              blocker_skips_start, start)
             return SolverResult("UNSAT", None, self.stats)
@@ -612,6 +623,16 @@ class CDCLSolver:
     def _to_internal(lit: int) -> int:
         var = abs(lit)
         return 2 * var if lit > 0 else 2 * var + 1
+
+    @staticmethod
+    def _to_external(lit: int) -> int:
+        return -(lit >> 1) if lit & 1 else lit >> 1
+
+    def _proof_add(self, internal_lits: Sequence[int]) -> None:
+        self.proof.add([self._to_external(lit) for lit in internal_lits])  # type: ignore[attr-defined]
+
+    def _proof_delete(self, internal_lits: Sequence[int]) -> None:
+        self.proof.delete([self._to_external(lit) for lit in internal_lits])  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # Clause management
@@ -1340,6 +1361,8 @@ class CDCLSolver:
             if ref in locked or lbds[ref] <= 2:
                 self._learned.append(ref)
                 continue
+            if self.proof is not None:
+                self._proof_delete(self._clause_lits(ref))
             self._detach(ref)
             self._garbage += sizes[ref]
             sizes[ref] = 0
@@ -1374,8 +1397,12 @@ class CDCLSolver:
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
                     self._unsat = True
+                    if self.proof is not None:
+                        self._proof_add(())
                     return "UNSAT"
                 learned, backtrack_level, lbd = self._analyze(*conflict)
+                if self.proof is not None:
+                    self._proof_add(learned)
                 self._backtrack(backtrack_level)
                 length = len(learned)
                 if length == 1:
@@ -1439,7 +1466,13 @@ class CDCLSolver:
                 value = self._value[lit]
                 if value == _FALSE:
                     # Unsatisfiable *under the assumptions* (the database
-                    # itself stays consistent for future calls).
+                    # itself stays consistent for future calls).  The proof
+                    # records the negated cube: it is RUP with respect to
+                    # the formula plus the learned clauses logged so far,
+                    # and a checker invoked with the cube as extra units
+                    # closes the trace with an empty-clause RUP check.
+                    if self.proof is not None:
+                        self._proof_add([a ^ 1 for a in assumptions])
                     return "UNSAT"
                 if value == _TRUE:
                     self._trail_lim.append(len(self._trail))

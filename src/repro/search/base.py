@@ -84,13 +84,43 @@ class SearchContext:
     def make_backend(self) -> "SolverBackend | None":
         """A fresh persistent backend (``None`` in non-incremental mode)."""
         from repro.sat.backend import create_backend
+        from repro.sat.external import is_external_backend
 
         config = self.config
         if not config.incremental:
             return None
-        return create_backend(
-            self.outcome.backend_name, random_seed=config.random_seed
-        )
+        name = self.outcome.backend_name
+        kwargs: dict[str, object] = {"random_seed": config.random_seed}
+        if is_external_backend(name):
+            kwargs.update(
+                dimacs_dir=config.dimacs_dir,
+                reuse_dimacs=config.reuse_dimacs,
+                proof=config.proof,
+                # Opting into proofs buys certified UNSAT answers: every
+                # external refutation is replayed through the bundled
+                # forward checker before the mapper trusts it.
+                verify_proofs=config.proof,
+                tag=f"{self.dfg.name}@{self.cgra.name}",
+            )
+        elif config.proof and name == "cdcl":
+            # The internal engine streams its DRAT trace to a file; with
+            # --dimacs-dir the trace lands next to the exports, otherwise
+            # in the system temp dir (the per-attempt digest is the durable
+            # artefact either way).
+            import os
+            import tempfile
+
+            directory = config.dimacs_dir
+            if directory is not None:
+                os.makedirs(directory, exist_ok=True)
+            fd, path = tempfile.mkstemp(
+                dir=directory,
+                prefix=f"{self.dfg.name}@{self.cgra.name}-",
+                suffix=".drat",
+            )
+            os.close(fd)
+            kwargs["proof_path"] = path
+        return create_backend(name, **kwargs)
 
     def attempt(
         self, ii: int, backend: "SolverBackend | None"

@@ -259,6 +259,17 @@ class MappingCache:
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "mapping": outcome.mapping.to_dict(),
         }
+        # UNSAT attempts below the final II are the entry's *lower-bound
+        # evidence*; with proof logging on each carries the SHA-256 digest
+        # of its DRAT trace (see repro.sat.drat), so a served bound remains
+        # independently checkable against a retained trace.
+        proof_digests = {
+            str(attempt.ii): attempt.proof_digest
+            for attempt in outcome.attempts
+            if attempt.status == "UNSAT" and attempt.proof_digest
+        }
+        if proof_digests:
+            entry["unsat_proof_digests"] = proof_digests
         path = self.path_for(key)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.cache_dir, suffix=".tmp", delete=False,

@@ -73,6 +73,16 @@ PORTFOLIO_VARIANTS: dict[str, dict] = {
                    "amo_probe_conflicts": None},
     # SatELite-style CNF simplification before solving.
     "preprocess": {"preprocess": True},
+    # External-solver lanes (see repro.sat.external): the attempt is
+    # exported to DIMACS and solved by a subprocess.  They are ordinary
+    # lanes to the racing/cancellation machinery and the tuner; their
+    # availability is validated up front by variant_overrides so a missing
+    # binary fails as one clear error, not per worker.  "subprocess" is
+    # the always-available bundled solver; "kissat"/"minisat" need the
+    # system binary on PATH.
+    "subprocess": {"backend": "subprocess"},
+    "kissat": {"backend": "kissat"},
+    "minisat": {"backend": "minisat"},
 }
 
 #: Default racing line-up (see ``MapperConfig.portfolio_variants``).
@@ -92,7 +102,14 @@ _REAP_GRACE_POLLS = 10
 
 
 def variant_overrides(names: tuple[str, ...]) -> list[dict]:
-    """Resolve variant names to config overrides, validating early."""
+    """Resolve variant names to config overrides, validating early.
+
+    External-solver lanes additionally resolve their binary here, so the
+    whole race aborts with one :class:`BackendUnavailableError` before any
+    worker is spawned.
+    """
+    from repro.sat.external import ensure_available
+
     overrides = []
     for name in names:
         try:
@@ -102,6 +119,9 @@ def variant_overrides(names: tuple[str, ...]) -> list[dict]:
                 f"unknown portfolio variant {name!r}; "
                 f"available: {sorted(PORTFOLIO_VARIANTS)}"
             ) from None
+        backend = PORTFOLIO_VARIANTS[name].get("backend")
+        if backend:
+            ensure_available(backend)
     return overrides
 
 

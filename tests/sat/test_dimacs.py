@@ -1,0 +1,236 @@
+"""DIMACS export/import round-trip properties and mapper integration.
+
+The contract under test (see :mod:`repro.sat.dimacs`): ``dumps`` output is a
+fixpoint under ``loads``; assumption cubes survive as trailing unit clauses
+and are split back out on import; and the varmap projects an external model
+onto mapper variables so ``MappingEncoding.decode`` produces literally the
+same placements the internal solver's model would.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgra.architecture import CGRA
+from repro.core.encoder import MappingEncoder
+from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+from repro.kernels import get_kernel
+from repro.sat.backend import DPLLBackend
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import (
+    SIDECAR_SUFFIX,
+    DimacsDocument,
+    VarMap,
+    attempt_varmap,
+    dumps,
+    export_backend,
+    export_encoding,
+    loads,
+    project_model,
+    read_document,
+    write_document,
+)
+from repro.sat.solver import CDCLSolver
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+_NUM_VARS = 8
+
+_literals = st.integers(min_value=1, max_value=_NUM_VARS).flatmap(
+    lambda var: st.sampled_from([var, -var])
+)
+_clauses = st.lists(
+    st.lists(_literals, min_size=1, max_size=4), min_size=0, max_size=12
+)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz[],0123456789", min_size=1, max_size=8
+)
+
+
+@st.composite
+def documents(draw) -> DimacsDocument:
+    cnf = CNF(num_vars=_NUM_VARS)
+    for clause in draw(_clauses):
+        cnf.add_clause(clause)
+    cube_vars = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=_NUM_VARS),
+            max_size=4,
+            unique=True,
+        )
+    )
+    cube = tuple(
+        var if draw(st.booleans()) else -var for var in cube_vars
+    )
+    named_vars = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=_NUM_VARS),
+            max_size=4,
+            unique=True,
+        )
+    )
+    names = draw(
+        st.lists(_names, min_size=len(named_vars), max_size=len(named_vars),
+                 unique=True)
+    )
+    varmap = VarMap(dict(zip(named_vars, names)))
+    comments = tuple(draw(st.lists(_names, max_size=2)))
+    return DimacsDocument(cnf=cnf, varmap=varmap, cube=cube, comments=comments)
+
+
+@settings(max_examples=200, deadline=None)
+@given(documents())
+def test_dumps_loads_fixpoint(doc):
+    """export -> import -> export is byte-identical (canonical form)."""
+    text = dumps(doc)
+    assert dumps(loads(text)) == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(documents())
+def test_roundtrip_preserves_structure(doc):
+    """Clauses, cube, varmap and comments all survive the round trip."""
+    back = loads(dumps(doc))
+    assert back.cnf.clauses == doc.cnf.clauses
+    assert back.cnf.num_vars == doc.cnf.num_vars
+    assert back.cube == doc.cube
+    assert dict(back.varmap.items()) == dict(doc.varmap.items())
+    assert back.comments == doc.comments
+
+
+@settings(max_examples=100, deadline=None)
+@given(documents())
+def test_cube_appends_unit_clauses(doc):
+    """The serialised formula really asserts the cube (standalone solvers)."""
+    text = dumps(doc)
+    standalone = CNF.from_dimacs(
+        "\n".join(
+            line for line in text.splitlines() if not line.startswith("c")
+        )
+        + "\n"
+    )
+    assert standalone.num_clauses == doc.cnf.num_clauses + len(doc.cube)
+    tail = standalone.clauses[standalone.num_clauses - len(doc.cube):]
+    assert tail == [(lit,) for lit in doc.cube]
+
+
+def test_cube_comment_mismatch_rejected():
+    text = dumps(DimacsDocument(cnf=CNF(num_vars=2), cube=(1, -2)))
+    # Drop the trailing unit clauses but keep the cube comment.
+    lines = [line for line in text.splitlines() if line not in ("1 0", "-2 0")]
+    with pytest.raises(ValueError, match="cube comment"):
+        loads("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# VarMap basics
+# ---------------------------------------------------------------------------
+
+
+def test_varmap_rejects_collisions_and_bad_names():
+    varmap = VarMap({1: "a"})
+    with pytest.raises(ValueError):
+        varmap.bind(1, "b")
+    with pytest.raises(ValueError):
+        varmap.bind(2, "a")
+    with pytest.raises(ValueError):
+        varmap.bind(3, "has space")
+    with pytest.raises(ValueError):
+        varmap.bind(0, "zero")
+    varmap.bind(1, "a")  # re-binding identically is a no-op
+    assert varmap.var("a") == 1 and varmap.name(1) == "a"
+
+
+def test_varmap_sidecar_roundtrip(tmp_path):
+    doc = DimacsDocument(
+        cnf=CNF(num_vars=3), varmap=VarMap({1: "x", 3: "sel"})
+    )
+    doc.cnf.add_clause([1, -3])
+    path = write_document(doc, tmp_path / "out.cnf")
+    sidecar = path.with_name(path.name + SIDECAR_SUFFIX)
+    assert sidecar.exists()
+    # A comment-stripping solver pipeline loses the in-file varmap; the
+    # sidecar alone must restore it.
+    stripped = "\n".join(
+        line
+        for line in path.read_text().splitlines()
+        if not line.startswith("c")
+    )
+    path.write_text(stripped + "\n")
+    back = read_document(path)
+    assert dict(back.varmap.items()) == {1: "x", 3: "sel"}
+
+
+# ---------------------------------------------------------------------------
+# Mapper-attempt integration
+# ---------------------------------------------------------------------------
+
+
+def _encoded_attempt():
+    dfg = get_kernel("stringsearch")
+    cgra = CGRA.square(3)
+    kms = KernelMobilitySchedule.build(MobilitySchedule.build(dfg), 2)
+    return MappingEncoder(dfg, cgra, kms).encode()
+
+
+def test_external_model_decodes_identically(tmp_path):
+    """Round-tripped model -> project_model -> decode matches the internal path."""
+    encoding = _encoded_attempt()
+    internal = CDCLSolver(random_seed=0).solve(encoding.cnf)
+    assert internal.status == "SAT"
+    expected = encoding.decode(internal.model)
+
+    path = export_encoding(encoding, tmp_path / "attempt.cnf")
+    doc = read_document(path)
+    external = CDCLSolver(random_seed=0).solve(doc.cnf)
+    assert external.status == "SAT"
+    placements = encoding.decode(project_model(doc, external.model))
+    assert placements == expected
+
+
+def test_attempt_varmap_names_every_placement_variable():
+    encoding = _encoded_attempt()
+    varmap = attempt_varmap(encoding)
+    assert len(varmap) == len(encoding.variables)
+    (node, pe, cycle, iteration), var = next(iter(encoding.variables.items()))
+    assert varmap.name(var) == f"x[n{node},p{pe},c{cycle},i{iteration}]"
+
+
+def test_assumptions_survive_as_cube(tmp_path):
+    """Exported assumptions constrain the standalone formula."""
+    encoding = _encoded_attempt()
+    # Pin the first placement variable false via the cube.
+    var = next(iter(encoding.variables.values()))
+    path = export_encoding(encoding, tmp_path / "cube.cnf", assumptions=[-var])
+    doc = read_document(path)
+    assert doc.cube == (-var,)
+    result = CDCLSolver(random_seed=0).solve(
+        doc.cnf, assumptions=list(doc.cube)
+    )
+    assert result.status == "SAT"
+    assert result.model[var] is False
+
+
+def test_export_encoding_requires_standalone_cnf(tmp_path):
+    encoding = _encoded_attempt()
+    encoding.cnf = None  # incremental attempts emit straight into a backend
+    with pytest.raises(ValueError, match="accumulated clause set"):
+        export_encoding(encoding, tmp_path / "x.cnf")
+
+
+def test_export_backend_accumulated_clauses(tmp_path):
+    backend = DPLLBackend()
+    backend.new_vars(3)
+    backend.add_clause([1, 2])
+    backend.add_clause([-2, 3])
+    path = export_backend(
+        backend, tmp_path / "b.cnf", assumptions=[1], comments=["attempt 0"]
+    )
+    doc = read_document(path)
+    assert doc.cnf.clauses == [(1, 2), (-2, 3)]
+    assert doc.cube == (1,)
+    assert doc.comments == ("attempt 0",)

@@ -42,9 +42,47 @@ class TestParser:
         assert args.seed == 3
         assert args.amo_encoding == "commander"
 
-    def test_unknown_backend_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["map", "--kernel", "srand", "--backend", "z3"])
+    def test_unknown_backend_rejected(self, capsys):
+        # Backend names are validated in the command (the registry is open
+        # for external:<path> specs), not by argparse choices.
+        exit_code = main(["map", "--kernel", "srand", "--backend", "z3"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert "z3" in captured.err
+
+    def test_missing_solver_binary_is_one_line_error(self, capsys):
+        import shutil
+
+        if shutil.which("kissat"):
+            pytest.skip("kissat installed; unavailable-backend path untestable")
+        exit_code = main(["map", "--kernel", "srand", "--backend", "kissat"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.count("\n") == 1  # a single line, not a traceback
+        assert "kissat" in captured.err and "apt-get" in captured.err
+
+    def test_dimacs_and_proof_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["map", "--kernel", "srand", "--backend", "subprocess",
+             "--dimacs-dir", "/tmp/dimacs", "--reuse-dimacs", "--proof"]
+        )
+        assert args.backend == "subprocess"
+        assert args.dimacs_dir == "/tmp/dimacs"
+        assert args.reuse_dimacs is True
+        assert args.proof is True
+        defaults = build_parser().parse_args(["map", "--kernel", "srand"])
+        assert defaults.dimacs_dir is None
+        assert defaults.reuse_dimacs is False
+        assert defaults.proof is False
+        sweep = build_parser().parse_args(
+            ["sweep", "--backend", "subprocess", "--dimacs-dir", "/tmp/d",
+             "--reuse-dimacs", "--proof"]
+        )
+        assert sweep.backend == "subprocess"
+        assert sweep.dimacs_dir == "/tmp/d"
+        assert sweep.reuse_dimacs is True
+        assert sweep.proof is True
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(SystemExit):
@@ -216,6 +254,30 @@ class TestCommands:
         ])
         assert exit_code == 0
         assert "II=" in capsys.readouterr().out
+
+    def test_map_with_subprocess_backend(self, capsys, tmp_path):
+        exit_code = main([
+            "map", "--kernel", "srand", "--rows", "2", "--cols", "2",
+            "--timeout", "60", "--backend", "subprocess",
+            "--dimacs-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "II=" in captured.out
+        assert list(tmp_path.glob("*.cnf")), "exported DIMACS files expected"
+
+    def test_map_with_proof_reports_digest(self, capsys, tmp_path):
+        # gsm@2x2 walks through UNSAT rungs before mapping, so --proof has
+        # something to certify.
+        exit_code = main([
+            "map", "--kernel", "gsm", "--rows", "2", "--cols", "2",
+            "--timeout", "60", "--proof", "--dimacs-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "proof: " in captured.out
+        assert "UNSAT attempt(s) logged" in captured.out
+        assert "digest" in captured.out
 
     def test_sweep_command_parallel_jobs(self, capsys):
         exit_code = main([
