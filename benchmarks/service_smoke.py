@@ -1,0 +1,131 @@
+"""End-to-end service smoke: serve == CLI on the same problem.
+
+Starts ``repro serve`` as a real subprocess, maps one kernel through
+``POST /map`` + ``GET /jobs/{id}``, maps the same kernel through
+``repro map``, and fails unless both report the same II.  Run by the CI
+``service-smoke`` job::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+
+Not a pytest module on purpose — the point is the real process boundary
+(subprocess, socket, SIGINT shutdown), which the in-process tests under
+``tests/service/`` deliberately avoid for speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+KERNEL, ROWS, COLS = "srand", 3, 3
+STARTUP_DEADLINE_S = 30.0
+SOLVE_DEADLINE_S = 120.0
+
+
+def wait_for_port(process: subprocess.Popen) -> int:
+    """Parse the listening port from the service's banner line."""
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"service exited before listening (rc={process.poll()})"
+            )
+        sys.stdout.write(line)
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("service did not print its listening banner in time")
+
+
+def http(url: str, data: bytes | None = None) -> tuple[int, dict]:
+    request = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def main() -> int:
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    with tempfile.TemporaryDirectory() as cache:
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--pool", "2", "--cache", cache],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            port = wait_for_port(server)
+            base = f"http://127.0.0.1:{port}"
+
+            status, health = http(base + "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+
+            body = json.dumps({
+                "kernel": KERNEL,
+                "arch": {"rows": ROWS, "cols": COLS},
+                "config": {"timeout": 60, "random_seed": 0},
+            }).encode()
+            status, submitted = http(base + "/map", body)
+            assert status in (200, 202), submitted
+            job_id = submitted["job"]
+
+            deadline = time.monotonic() + SOLVE_DEADLINE_S
+            payload = submitted
+            while payload["status"] not in ("done", "failed", "cancelled"):
+                if time.monotonic() > deadline:
+                    raise SystemExit(f"job stuck: {payload}")
+                time.sleep(0.5)
+                status, payload = http(f"{base}/jobs/{job_id}")
+                assert status == 200, payload
+            assert payload["status"] == "done", payload
+            served_ii = payload["result"]["ii"]
+            print(f"service: {KERNEL} on {ROWS}x{COLS} -> II={served_ii}")
+
+            status, stats = http(base + "/stats")
+            assert status == 200, stats
+            assert stats["requests"]["completed"] == 1, stats
+            print(f"service stats: {json.dumps(stats['requests'])}")
+        finally:
+            server.send_signal(signal.SIGINT)
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+                raise SystemExit("service ignored SIGINT")
+
+    cli = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "map", "--kernel", KERNEL,
+         "--rows", str(ROWS), "--cols", str(COLS), "--timeout", "60"],
+        capture_output=True, text=True, env=env, timeout=SOLVE_DEADLINE_S,
+    )
+    print(cli.stdout, end="")
+    if cli.returncode != 0:
+        raise SystemExit(f"repro map failed: {cli.stderr}")
+    match = re.search(r"II=(\d+)", cli.stdout)
+    if not match:
+        raise SystemExit("repro map output carried no II")
+    cli_ii = int(match.group(1))
+
+    if served_ii != cli_ii:
+        raise SystemExit(
+            f"II mismatch: service={served_ii}, repro map={cli_ii}"
+        )
+    print(f"OK: service and CLI agree on II={served_ii}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

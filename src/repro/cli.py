@@ -1,11 +1,12 @@
 """Command line interface.
 
-Four sub-commands::
+Five sub-commands::
 
     satmapit map --kernel gsm --rows 4 --cols 4          # map one kernel
     satmapit map --kernel nw --arch-preset mem_edge_4x4  # heterogeneous fabric
     satmapit sweep --sizes 2 3 --timeout 30              # reproduce Fig.6/Tables
     satmapit bench --baseline BENCH_solver.json          # tracked perf suite
+    satmapit serve --port 8157 --cache .service-cache    # mapping-as-a-service
     satmapit show --kernel gsm                           # inspect a kernel DFG
 
 ``python -m repro.cli`` works identically when the console script is not on
@@ -103,6 +104,19 @@ def _backend_error(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _cli_error(exc: BaseException) -> int:
+    """The one-line CLI error contract, shared by every sub-command.
+
+    A :class:`MappingError` (unmappable kernel) or
+    :class:`BackendUnavailableError` (external solver binary lost, with its
+    install hint) prints as a single ``error:`` line on stderr and exits 2 —
+    never as a traceback, whether it was raised by ``map``, mid-``sweep``
+    in a worker process, or inside the service.
+    """
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     dfg = _load_dfg(args)
     try:
@@ -146,8 +160,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     except (MappingError, BackendUnavailableError) as exc:
         # E.g. the kernel's opcode histogram cannot fit the fabric at any
         # II, or an external solver lane lost its binary mid-run.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _cli_error(exc)
     finally:
         if profiler is not None:
             import io
@@ -264,7 +277,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           + (f" x {len(config.scenarios)} scenarios"
              if len(config.scenarios) > 1 else "")
           + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else ""))
-    sweep = run_sweep(config, progress=True, jobs=args.jobs)
+    try:
+        sweep = run_sweep(config, progress=True, jobs=args.jobs)
+    except (MappingError, BackendUnavailableError) as exc:
+        # The up-front validation cannot catch everything: an external
+        # solver binary can vanish (or break) between the check and a
+        # mid-sweep run, and a scenario fabric can reject a kernel.  Both
+        # must surface exactly like the ``map`` path — one line, install
+        # hint intact — not as a worker-process traceback.
+        return _cli_error(exc)
     if config.cache_dir:
         hits = sum(1 for r in sweep.records if r.cache_hit)
         sat_runs = sum(1 for r in sweep.records if r.mapper == SAT_MAPIT)
@@ -299,6 +320,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         argv += ["--baseline", args.baseline]
     return perf_main(argv)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived mapping service (see :mod:`repro.service`)."""
+    # Imported here: the service pulls in asyncio machinery no batch
+    # sub-command needs.
+    from repro.service import JobManager, ServiceLimits, run_service
+
+    limits = ServiceLimits(
+        default_timeout=args.default_timeout,
+        max_timeout=args.max_timeout,
+    )
+    manager = JobManager(
+        pool_size=args.pool,
+        cache_dir=args.cache,
+        cache_max_mb=args.cache_max_mb,
+        tuner_dir=args.tuner,
+        limits=limits,
+    )
+    return run_service(manager, host=args.host, port=args.port)
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -494,6 +535,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-case wall-time ratio failing the "
                                 "--baseline gate (default: 3.0)")
     bench_cmd.set_defaults(func=_cmd_bench)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the long-lived mapping service (POST /map over HTTP)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8157,
+                           help="TCP port (0 picks a free one; default: 8157)")
+    serve_cmd.add_argument("--pool", type=int, default=2,
+                           help="mapping solves run concurrently, each in "
+                                "its own worker process (default: 2)")
+    serve_cmd.add_argument("--cache", metavar="DIR",
+                           default=".service-cache",
+                           help="mapping-cache root; each tenant gets its "
+                                "own namespace subdirectory "
+                                "(default: .service-cache)")
+    serve_cmd.add_argument("--cache-max-mb", type=float, default=None,
+                           metavar="MB",
+                           help="per-tenant cache size budget; oldest "
+                                "entries evicted first (default: unbounded)")
+    serve_cmd.add_argument("--tuner", metavar="DIR",
+                           help="persistent lane-tuner store shared by all "
+                                "portfolio-backed requests")
+    serve_cmd.add_argument("--default-timeout", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="wall budget for requests that set none "
+                                "(default: 60)")
+    serve_cmd.add_argument("--max-timeout", type=float, default=600.0,
+                           metavar="SECONDS",
+                           help="hard ceiling on any request's timeout "
+                                "(default: 600)")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     show_cmd = sub.add_parser("show", help="inspect a kernel DFG and its schedules")
     show_cmd.add_argument("--kernel", choices=all_kernel_names())

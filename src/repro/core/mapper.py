@@ -154,6 +154,14 @@ class MapperConfig:
     #: directory outgrows it after a write, the oldest entries are evicted
     #: first (``CacheStats.evicted``).  ``None`` means unbounded.
     cache_max_mb: float | None = None
+    #: Subdirectory of ``cache_dir`` this run reads and writes
+    #: (``cache_dir/<namespace>``); ``None`` uses ``cache_dir`` itself.
+    #: The mapping service keys this by tenant so tenants share nothing on
+    #: disk — the cache *key* is identical across namespaces (the
+    #: namespace is a placement concern, not part of the problem), the
+    #: directories are disjoint.  Restricted to ``[A-Za-z0-9._-]`` so a
+    #: request can never traverse outside the cache root.
+    cache_namespace: str | None = None
     #: Run the heuristic mappers as a budgeted pre-pass before any SAT work
     #: (see :mod:`repro.search.seed`).  A validated heuristic mapping gives
     #: every strategy a feasible upper bound — the ladder stops below it,
@@ -404,7 +412,7 @@ class SatMapItMapper:
         """
         # Imported lazily: repro.search imports mapper types at module load.
         from repro.search import SearchContext, create_strategy
-        from repro.search.cache import MappingCache
+        from repro.search.cache import MappingCache, resolve_cache_dir
 
         config = self.config
         dfg.validate()
@@ -444,7 +452,10 @@ class SatMapItMapper:
         cache: MappingCache | None = None
         key: str | None = None
         if config.cache_dir:
-            cache = MappingCache(config.cache_dir, max_mb=config.cache_max_mb)
+            cache = MappingCache(
+                resolve_cache_dir(config.cache_dir, config.cache_namespace),
+                max_mb=config.cache_max_mb,
+            )
             key = cache.key(dfg, cgra, config, start_ii=first_ii)
             outcome.cache_key = key
             outcome.cache_stats = cache.stats

@@ -31,6 +31,7 @@ import enum
 import hashlib
 import json
 import os
+import re
 import tempfile
 import time
 from dataclasses import dataclass
@@ -47,6 +48,38 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard
 
 #: Entry-format tag; bumping it invalidates every existing entry.
 SCHEMA = "satmapit-mapcache/1"
+
+#: Shape of a legal cache namespace (tenant id): one path component, no
+#: separators or traversal, bounded length.
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def resolve_cache_dir(
+    cache_dir: str | os.PathLike, namespace: str | None = None
+) -> Path:
+    """The directory a (possibly namespaced) cache handle lives in.
+
+    A namespace (the service's tenant id) selects one subdirectory of the
+    cache root; its alphabet is restricted so request-supplied tenant
+    strings can never traverse outside the root (``..``, separators and
+    dotfile prefixes all fail the pattern).
+    """
+    root = Path(cache_dir)
+    if namespace is None:
+        return root
+    if not _NAMESPACE_RE.match(namespace):
+        raise ValueError(
+            f"illegal cache namespace {namespace!r}: must match "
+            f"{_NAMESPACE_RE.pattern}"
+        )
+    return root / namespace
+
+
+#: Minimum age (seconds since mtime) before an atomic-write temp file is
+#: considered crash-orphaned and swept.  Generous compared to the
+#: milliseconds a live writer holds one open, so the sweep can never race
+#: an in-progress ``store()`` in another process.
+STALE_TEMP_AGE = 300.0
 
 #: MapperConfig fields that determine *which* mapping a run can produce.
 #: Everything else (timeout, attempt_time_limit, verbose, search,
@@ -92,12 +125,20 @@ class CacheStats:
     #: Entries pruned (oldest first) to keep the directory inside its size
     #: budget (``MappingCache(max_mb=...)``).
     evicted: int = 0
+    #: Crash-orphaned atomic-write temp files (``*.tmp``) swept from the
+    #: cache directory.  A writer that dies between ``NamedTemporaryFile``
+    #: and ``os.replace`` leaves its temp file behind; without the sweep
+    #: those orphans accumulate unboundedly and are invisible to the size
+    #: budget.  Only temps older than :data:`STALE_TEMP_AGE` are touched,
+    #: so a live concurrent writer is never raced.
+    temp_files_swept: int = 0
 
     def summary(self) -> str:
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.writes} write(s), {self.invalidated} invalidated, "
-            f"{self.corrupted} corrupted, {self.evicted} evicted"
+            f"{self.corrupted} corrupted, {self.evicted} evicted, "
+            f"{self.temp_files_swept} stale temp(s) swept"
         )
 
 
@@ -287,28 +328,100 @@ class MappingCache:
                 pass
             return None
         self.stats.writes += 1
+        self.sweep_stale_temps()
         self._enforce_budget(keep=path)
         return path
+
+    def sweep_stale_temps(self, now: float | None = None) -> int:
+        """Delete crash-orphaned atomic-write temp files; return the count.
+
+        A ``store()`` that dies between creating its ``*.tmp`` file and the
+        ``os.replace`` leaves the temp behind forever — no later lookup or
+        eviction ever globs it.  Any ``*.tmp`` older than
+        :data:`STALE_TEMP_AGE` is such an orphan (a live writer holds its
+        temp for milliseconds); younger temps are left alone so a concurrent
+        writer in another process is never raced.  Called on every
+        ``store()`` and directly by long-lived holders (the service's
+        telemetry loop); swept files are counted in
+        ``CacheStats.temp_files_swept``.
+        """
+        now = time.time() if now is None else now
+        swept = 0
+        for path in self.cache_dir.glob("*.tmp"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if now - stat.st_mtime < STALE_TEMP_AGE:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.temp_files_swept += 1
+            swept += 1
+        return swept
+
+    def directory_stats(self, now: float | None = None) -> dict:
+        """Snapshot of the on-disk cache state, for telemetry endpoints.
+
+        Returns entry count and bytes, the age span of the finished
+        entries (seconds since mtime), any temp files currently present,
+        and the configured budget — everything ``GET /stats`` needs
+        without holding extra state in the handle.
+        """
+        now = time.time() if now is None else now
+        entries = 0
+        entry_bytes = 0
+        ages: list[float] = []
+        temp_files = 0
+        temp_bytes = 0
+        for path in self.cache_dir.glob("*"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.suffix == ".json":
+                entries += 1
+                entry_bytes += stat.st_size
+                ages.append(max(0.0, now - stat.st_mtime))
+            elif path.suffix == ".tmp":
+                temp_files += 1
+                temp_bytes += stat.st_size
+        return {
+            "entries": entries,
+            "entry_bytes": entry_bytes,
+            "oldest_entry_age_s": round(max(ages), 3) if ages else None,
+            "newest_entry_age_s": round(min(ages), 3) if ages else None,
+            "temp_files": temp_files,
+            "temp_bytes": temp_bytes,
+            "max_bytes": self.max_bytes,
+        }
 
     def _enforce_budget(self, keep: Path | None = None) -> None:
         """Prune oldest entries first until the directory fits the budget.
 
         The entry just written (``keep``) is exempt — a single oversized
         store must not evict itself, or a hot loop would write and delete
-        the same key forever.  Races with concurrent sweep workers are
-        benign: a vanished file is simply skipped.
+        the same key forever.  Temp files count against the budget too
+        (they occupy the same disk; stale ones were just swept, live ones
+        belong to a concurrent writer) but are never evicted here — only
+        finished ``*.json`` entries are.  Races with concurrent sweep
+        workers are benign: a vanished file is simply skipped.
         """
         if self.max_bytes is None:
             return
         entries = []
         total = 0
-        for path in self.cache_dir.glob("*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, path, stat.st_size))
-            total += stat.st_size
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.cache_dir.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if pattern == "*.json":
+                    entries.append((stat.st_mtime, path, stat.st_size))
+                total += stat.st_size
         for _mtime, path, size in sorted(entries):
             if total <= self.max_bytes:
                 return

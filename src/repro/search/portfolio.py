@@ -100,6 +100,30 @@ _POLL_INTERVAL = 0.2
 #: in-flight) queued answer before being counted as failed.
 _REAP_GRACE_POLLS = 10
 
+#: Seconds a cancelled worker gets to honour SIGTERM before the reap
+#: escalates to SIGKILL (see :func:`reap_process`).
+_TERM_GRACE = 5.0
+
+
+def reap_process(process, grace: float | None = None) -> None:
+    """Cancel a worker process, guaranteeing it is dead on return.
+
+    ``terminate()`` (SIGTERM) first, so the worker can run its cleanup
+    handlers; if it has not exited within ``grace`` seconds (default
+    :data:`_TERM_GRACE`) — a worker stuck in native solver code, or one
+    that installed a SIGTERM handler/ignore — escalate to ``kill()``
+    (SIGKILL, uncatchable) and join without a timeout.  SIGKILL cannot be
+    blocked, so the unbounded join always returns; the old
+    terminate-and-hope path silently leaked any worker that shrugged off
+    SIGTERM, which a long-lived service cannot afford.
+    """
+    if process.is_alive():
+        process.terminate()
+    process.join(timeout=_TERM_GRACE if grace is None else grace)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
 
 def variant_overrides(names: tuple[str, ...]) -> list[dict]:
     """Resolve variant names to config overrides, validating early.
@@ -228,6 +252,7 @@ class PortfolioStrategy(SearchStrategy):
         next_item = 0
         urgent: list[tuple[int, int]] = []
         active: dict[int, tuple] = {}  # token -> (process, ii, lane)
+        spawned: list = []  # every worker process ever launched
         meta: dict[int, tuple[int, int]] = {}  # token -> (ii, lane), kept
         settled: set[int] = set()  # tokens whose verdict is recorded
         cancelled: set[int] = set()  # tokens terminated as moot
@@ -268,6 +293,7 @@ class PortfolioStrategy(SearchStrategy):
             )
             process.start()
             active[token] = (process, ii, lane)
+            spawned.append(process)
             meta[token] = (ii, lane)
             outcome.portfolio_launched += 1
             states.setdefault(ii, _IIState(len(variant_names)))
@@ -307,7 +333,10 @@ class PortfolioStrategy(SearchStrategy):
                 cancelled.add(token)
                 outcome.portfolio_cancelled += 1
             for process, _ii, _variant in active.values():
-                process.join(timeout=5.0)
+                # The TERM was already sent above; reap_process re-sends it
+                # harmlessly and escalates to SIGKILL on a worker that
+                # ignores it, so no child can outlive the strategy.
+                reap_process(process)
             active.clear()
 
         def settle(token: int, payload) -> None:
@@ -456,6 +485,12 @@ class PortfolioStrategy(SearchStrategy):
         finally:
             cancel_all()
             result_queue.close()
+            # Lifecycle invariant: whatever path led here (win, exhaustion,
+            # timeout, crash), no worker may outlive the strategy — a leaked
+            # child would accumulate forever in a long-lived service process.
+            assert not any(
+                process.is_alive() for process in spawned
+            ), "portfolio leaked live worker process(es) at strategy exit"
         # Workers drained without a frontier verdict (e.g. silent worker
         # deaths resolved the remaining IIs): fall back to the same sound
         # walk the timeout path uses.
@@ -537,9 +572,7 @@ class PortfolioStrategy(SearchStrategy):
 
         for token in [t for t, (_p, ii, _v) in active.items() if moot(ii)]:
             process, _ii, _variant = active.pop(token)
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=5.0)
+            reap_process(process)
             cancelled.add(token)
             outcome.portfolio_cancelled += 1
 

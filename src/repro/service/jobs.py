@@ -1,0 +1,478 @@
+"""Job lifecycle for the mapping service.
+
+Every accepted ``POST /map`` becomes a :class:`Job`.  The manager runs at
+most ``pool_size`` solves at once, each in its *own worker process*:
+
+* **Isolation / re-entrancy** — the mapper core is stateless, but a SAT
+  solve is CPU-bound and can be asked to die at any moment; a process per
+  job gives the GIL-free parallelism and a kill target, with no state
+  shared between requests.
+* **Cancellation** — the worker installs a SIGTERM handler that raises
+  ``SystemExit``, so terminating it unwinds through the mapper's
+  ``finally`` blocks and the portfolio strategy's own ``cancel_all``
+  discipline reaps its racing grandchildren before the worker exits.  The
+  parent side uses the same :func:`~repro.search.portfolio.reap_process`
+  escalation (SIGTERM, bounded grace, SIGKILL) the portfolio applies to
+  its lanes — with a longer grace, so a cooperatively-cancelling worker
+  is never SIGKILLed while it is still cleaning up its own children.
+* **Dedup** — in-flight requests are indexed by ``(tenant, cache key)``
+  using the persistent cache's content hash: two identical concurrent
+  ``POST /map``\\ s share one Job and one solve.  Once a job finishes the
+  index entry is dropped — later repeats are served by the persistent
+  cache instead.
+* **Tenancy** — each tenant's cache lives under its own namespace
+  directory (``MapperConfig.cache_namespace``); tenants share nothing on
+  disk.
+* **Budgets** — every request's config carries an explicit clamped
+  timeout (see :mod:`repro.service.protocol`); on top of it the manager
+  holds a hard watchdog (timeout + grace) after which a wedged worker is
+  reaped and the job fails, so no request can pin a pool slot forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.cgra.capabilities import check_kernel_fits, effective_minimum_ii
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.exceptions import MappingError
+from repro.sat.backend import BackendUnavailableError, validate_backend
+from repro.search.cache import MappingCache, cache_key, resolve_cache_dir
+from repro.search.portfolio import reap_process
+from repro.service.protocol import (
+    MapRequest,
+    ServiceLimits,
+    outcome_payload,
+)
+
+#: Seconds between cancellation/deadline checks while a worker solves.
+_WORKER_POLL = 0.1
+
+#: Watchdog slack on top of a request's own timeout before the manager
+#: declares the worker wedged and reaps it.
+_BUDGET_GRACE = 30.0
+
+#: TERM grace for job workers.  Deliberately longer than the portfolio's
+#: internal 5 s lane grace: a cancelled worker may itself be escalating
+#: stubborn grandchildren, and SIGKILLing it mid-cleanup would orphan
+#: them (SIGKILL runs no handlers, so the daemon children would outlive
+#: everything).
+_JOB_TERM_GRACE = 20.0
+
+
+def _sigterm_to_exit(signum, frame):  # pragma: no cover - runs in worker
+    """Turn SIGTERM into an orderly unwind.
+
+    Raising ``SystemExit`` runs every active ``finally`` — most
+    importantly the portfolio strategy's ``cancel_all``, which
+    kill-escalates its racing lane processes — before the worker exits.
+    A bare ``terminate()`` would leave those daemon grandchildren running
+    whenever the worker dies without Python-level cleanup.
+    """
+    raise SystemExit(128 + signal.SIGTERM)
+
+
+def _job_worker(conn, dfg, cgra, config: MapperConfig) -> None:
+    """Run one mapping solve and ship a plain-data verdict back."""
+    signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    try:
+        outcome = SatMapItMapper(config).map(dfg, cgra)
+        conn.send(("ok", outcome_payload(outcome)))
+    except (MappingError, BackendUnavailableError) as exc:
+        conn.send(("error", str(exc)))
+    except SystemExit:  # pragma: no cover - cancellation path
+        raise
+    except BaseException as exc:  # pragma: no cover - crash containment
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled",
+)
+_FINISHED = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One mapping request's lifecycle, shared by every deduped caller."""
+
+    id: str
+    tenant: str
+    cache_key: str
+    dfg_name: str
+    cgra_name: str
+    status: str = QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: How many requests this job served (1 + dedup joiners).
+    requests: int = 1
+    #: Set from any thread to ask the solve loop to reap the worker.
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: Completion signal for ``wait=``-style synchronous callers.
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    pid: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in _FINISHED
+
+    def to_payload(self) -> dict:
+        end = self.finished_at or time.time()
+        payload: dict[str, Any] = {
+            "job": self.id,
+            "status": self.status,
+            "tenant": self.tenant,
+            "cache_key": self.cache_key,
+            "dfg": self.dfg_name,
+            "cgra": self.cgra_name,
+            "requests": self.requests,
+            "created_at": self.created_at,
+            "wall_s": round(end - self.created_at, 4),
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters, aggregated across all jobs and tenants."""
+
+    started_at: float = field(default_factory=time.time)
+    requests: int = 0
+    #: Requests answered by joining an identical in-flight job.
+    dedup_joined: int = 0
+    solves_started: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    #: Persistent-cache counters folded in from every finished solve.
+    cache: dict = field(default_factory=lambda: {
+        "hits": 0, "misses": 0, "writes": 0, "invalidated": 0,
+        "corrupted": 0, "evicted": 0, "temp_files_swept": 0,
+    })
+
+    def fold_cache(self, stats: dict | None) -> None:
+        if not stats:
+            return
+        for name in self.cache:
+            self.cache[name] += int(stats.get(name, 0))
+
+    @property
+    def hit_rate(self) -> float | None:
+        looked_up = self.cache["hits"] + self.cache["misses"]
+        if not looked_up:
+            return None
+        return self.cache["hits"] / looked_up
+
+
+def _solve_in_process(
+    ctx, job: Job, dfg, cgra, config: MapperConfig, budget: float,
+) -> tuple[str, Any]:
+    """Run the worker process and babysit it (thread context).
+
+    Returns ``("ok", payload)`` / ``("error", message)`` /
+    ``("cancelled", None)``.  Guarantees the worker is dead on return,
+    whatever happened.
+    """
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_job_worker, args=(child_conn, dfg, cgra, config),
+    )
+    process.start()
+    child_conn.close()
+    job.pid = process.pid
+    deadline = time.monotonic() + budget
+    message: tuple[str, Any] | None = None
+    try:
+        while True:
+            if job.cancel_event.is_set():
+                reap_process(process, grace=_JOB_TERM_GRACE)
+                return ("cancelled", None)
+            if time.monotonic() > deadline:
+                reap_process(process, grace=_JOB_TERM_GRACE)
+                return (
+                    "error",
+                    f"worker exceeded the request budget "
+                    f"(hard ceiling {budget:.0f}s) and was reaped",
+                )
+            if parent_conn.poll(_WORKER_POLL):
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    message = None
+                break
+            if not process.is_alive():
+                # The worker died without answering; drain a message that
+                # may have landed between the poll and the liveness check.
+                if parent_conn.poll(0):
+                    try:
+                        message = parent_conn.recv()
+                    except EOFError:
+                        message = None
+                break
+        if message is None:
+            return (
+                "error",
+                f"mapping worker died unexpectedly "
+                f"(exit code {process.exitcode})",
+            )
+        return message
+    finally:
+        try:
+            parent_conn.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - wedged worker
+            reap_process(process, grace=_JOB_TERM_GRACE)
+
+
+class JobManager:
+    """Bounded, deduplicating scheduler of mapping solves."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        cache_dir: str | None = None,
+        cache_max_mb: float | None = None,
+        tuner_dir: str | None = None,
+        limits: ServiceLimits | None = None,
+        mp_context=None,
+        max_jobs_tracked: int = 1000,
+    ) -> None:
+        self.pool_size = max(1, pool_size)
+        self.cache_dir = cache_dir
+        self.cache_max_mb = cache_max_mb
+        self.tuner_dir = tuner_dir
+        self.limits = limits or ServiceLimits()
+        # ``spawn`` by default: forking a process from the event loop's
+        # worker threads is unreliable (and deprecated in newer CPythons);
+        # a spawned child re-imports cleanly.  Tests inject ``fork`` where
+        # they need to monkeypatch the worker.
+        self._ctx = mp_context or multiprocessing.get_context("spawn")
+        self._semaphore = asyncio.Semaphore(self.pool_size)
+        self.jobs: dict[str, Job] = {}
+        self._inflight: dict[tuple[str, str], Job] = {}
+        self._tenants: set[str] = set()
+        self._max_jobs_tracked = max_jobs_tracked
+        self.stats = ServiceStats()
+        self.running = 0
+
+    # ------------------------------------------------------------------
+    def _specialise(self, request: MapRequest) -> MapperConfig:
+        """Wire the service-owned resources into a request's config."""
+        fields: dict[str, Any] = {}
+        if self.cache_dir is not None:
+            fields.update(
+                cache_dir=self.cache_dir,
+                cache_max_mb=self.cache_max_mb,
+                cache_namespace=request.tenant,
+            )
+        if self.tuner_dir is not None:
+            fields["tuner_dir"] = self.tuner_dir
+        return replace(request.config, **fields) if fields else request.config
+
+    def submit(self, request: MapRequest) -> tuple[Job, bool]:
+        """Accept one request; returns ``(job, created)``.
+
+        ``created`` is ``False`` when the request joined an identical
+        in-flight job (same tenant, same cache key) instead of starting a
+        new solve.  Raises ``MappingError`` / ``BackendUnavailableError``
+        for requests that can be refuted before any work (unmappable
+        kernel, missing solver binary) — the HTTP layer turns those into
+        a 400, mirroring the CLI's one-line error contract.
+        """
+        self.stats.requests += 1
+        config = self._specialise(request)
+        try:
+            validate_backend(config.backend)
+            request.dfg.validate()
+            check_kernel_fits(request.dfg, request.cgra)
+            first_ii = max(effective_minimum_ii(request.dfg, request.cgra), 1)
+            key = cache_key(request.dfg, request.cgra, config, start_ii=first_ii)
+        except Exception:
+            self.stats.rejected += 1
+            self.stats.requests -= 1
+            raise
+        existing = self._inflight.get((request.tenant, key))
+        if existing is not None and not existing.finished:
+            existing.requests += 1
+            self.stats.dedup_joined += 1
+            return existing, False
+        job = Job(
+            id=uuid.uuid4().hex[:16],
+            tenant=request.tenant,
+            cache_key=key,
+            dfg_name=request.dfg.name,
+            cgra_name=request.cgra.name,
+        )
+        self.jobs[job.id] = job
+        self._inflight[(request.tenant, key)] = job
+        self._tenants.add(request.tenant)
+        self._prune_finished()
+        asyncio.get_running_loop().create_task(self._run(job, request, config))
+        return job, True
+
+    async def _run(self, job: Job, request: MapRequest, config: MapperConfig) -> None:
+        acquired = False
+        try:
+            # Acquire a pool slot, staying responsive to cancellation of a
+            # still-queued job.
+            while True:
+                try:
+                    await asyncio.wait_for(self._semaphore.acquire(), timeout=0.2)
+                    acquired = True
+                    break
+                except TimeoutError:
+                    if job.cancel_event.is_set():
+                        job.status = CANCELLED
+                        self.stats.cancelled += 1
+                        return
+            if job.cancel_event.is_set():
+                job.status = CANCELLED
+                self.stats.cancelled += 1
+                return
+            job.status = RUNNING
+            job.started_at = time.time()
+            self.running += 1
+            self.stats.solves_started += 1
+            budget = (config.timeout or self.limits.max_timeout) + _BUDGET_GRACE
+            verdict, payload = await asyncio.to_thread(
+                _solve_in_process,
+                self._ctx, job, request.dfg, request.cgra, config, budget,
+            )
+            if verdict == "ok":
+                job.result = payload
+                job.status = DONE
+                self.stats.completed += 1
+                self.stats.fold_cache(payload.get("cache"))
+            elif verdict == "cancelled":
+                job.status = CANCELLED
+                self.stats.cancelled += 1
+            else:
+                job.error = payload
+                job.status = FAILED
+                self.stats.failed += 1
+        except Exception as exc:  # pragma: no cover - scheduler bug guard
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = FAILED
+            self.stats.failed += 1
+        finally:
+            if acquired:
+                if job.started_at is not None:
+                    self.running -= 1
+                self._semaphore.release()
+            job.finished_at = time.time()
+            if self._inflight.get((job.tenant, job.cache_key)) is job:
+                del self._inflight[(job.tenant, job.cache_key)]
+            job.done_event.set()
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Ask a job to stop; the solve loop reaps its worker process."""
+        job = self.jobs.get(job_id)
+        if job is None or job.finished:
+            return job
+        job.cancel_event.set()
+        return job
+
+    async def shutdown(self) -> None:
+        """Cancel everything in flight and wait for the reaps to finish."""
+        pending = [job for job in self.jobs.values() if not job.finished]
+        for job in pending:
+            job.cancel_event.set()
+        for job in pending:
+            await job.done_event.wait()
+
+    def _prune_finished(self) -> None:
+        """Bound the job registry: drop the oldest finished jobs."""
+        overflow = len(self.jobs) - self._max_jobs_tracked
+        if overflow <= 0:
+            return
+        finished = sorted(
+            (job for job in self.jobs.values() if job.finished),
+            key=lambda job: job.finished_at or 0.0,
+        )
+        for job in finished[:overflow]:
+            del self.jobs[job.id]
+
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """The ``GET /stats`` body: counters plus on-disk cache telemetry."""
+        stats = self.stats
+        queued = sum(1 for job in self.jobs.values() if job.status == QUEUED)
+        payload: dict[str, Any] = {
+            "service": {
+                "uptime_s": round(time.time() - stats.started_at, 3),
+                "pool_size": self.pool_size,
+                "running": self.running,
+                "queued": queued,
+                "jobs_tracked": len(self.jobs),
+            },
+            "requests": {
+                "received": stats.requests,
+                "dedup_joined": stats.dedup_joined,
+                "rejected": stats.rejected,
+                "solves_started": stats.solves_started,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+            },
+            "cache": {
+                **stats.cache,
+                "hit_rate": stats.hit_rate,
+                "directory": None,
+            },
+        }
+        if self.cache_dir is not None:
+            # Live directory scan per tenant namespace; doubling as the
+            # long-lived process's hygiene hook — stale atomic-write temps
+            # are swept on every telemetry pass, not only on writes.
+            tenants: dict[str, dict] = {}
+            for tenant in sorted(self._tenants):
+                handle = MappingCache(
+                    resolve_cache_dir(self.cache_dir, tenant),
+                    max_mb=self.cache_max_mb,
+                )
+                swept = handle.sweep_stale_temps()
+                if swept:
+                    self.stats.cache["temp_files_swept"] += swept
+                tenants[tenant] = handle.directory_stats()
+            payload["cache"]["directory"] = {
+                "root": str(self.cache_dir),
+                "tenants": tenants,
+            }
+            # The scan above may itself have swept temps; report the
+            # post-sweep counter, not the snapshot taken before it.
+            payload["cache"]["temp_files_swept"] = (
+                self.stats.cache["temp_files_swept"]
+            )
+        return payload

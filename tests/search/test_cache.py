@@ -239,3 +239,114 @@ def test_cached_mapping_matches_fresh_run(kernel, tmp_path):
     assert cached.cache_hit
     assert cached.ii == fresh.ii
     assert cached.mapping.violations() == []
+
+
+class TestStaleTempSweep:
+    """Crash-orphaned atomic-write temps must not accumulate forever."""
+
+    @pytest.fixture()
+    def outcome(self):
+        return SatMapItMapper(MapperConfig(timeout=60, random_seed=0)).map(
+            get_kernel("srand"), CGRA.square(3)
+        )
+
+    @staticmethod
+    def _orphan(tmp_path, name="orphan.tmp", age=3600.0):
+        import os
+        import time
+
+        path = tmp_path / name
+        path.write_text("{partial")
+        old = time.time() - age
+        os.utime(path, (old, old))
+        return path
+
+    def test_stale_temp_swept_on_store(self, tmp_path, outcome):
+        stale = self._orphan(tmp_path)
+        cache = MappingCache(tmp_path)
+        cache.store("a" * 64, outcome)
+        assert not stale.exists()
+        assert cache.stats.temp_files_swept == 1
+
+    def test_fresh_temp_is_never_raced(self, tmp_path, outcome):
+        # A young temp may belong to a live writer in another process.
+        fresh = self._orphan(tmp_path, age=1.0)
+        cache = MappingCache(tmp_path)
+        cache.store("a" * 64, outcome)
+        assert fresh.exists()
+        assert cache.stats.temp_files_swept == 0
+
+    def test_direct_sweep_returns_count(self, tmp_path):
+        self._orphan(tmp_path, "one.tmp")
+        self._orphan(tmp_path, "two.tmp")
+        cache = MappingCache(tmp_path)
+        assert cache.sweep_stale_temps() == 2
+        assert cache.sweep_stale_temps() == 0
+
+    def test_sweep_counter_in_summary(self, tmp_path):
+        self._orphan(tmp_path)
+        cache = MappingCache(tmp_path)
+        cache.sweep_stale_temps()
+        assert "1 stale temp(s) swept" in cache.stats.summary()
+
+    def test_temp_bytes_count_toward_budget(self, tmp_path, outcome):
+        # A fresh (unsweepable) temp occupies budget, so entries are
+        # evicted sooner rather than letting temps hide disk usage.
+        probe = MappingCache(tmp_path / "probe")
+        entry_size = probe.store("f" * 64, outcome).stat().st_size
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        big = cache_dir / "live.tmp"
+        big.write_bytes(b"x" * (2 * entry_size))
+        cache = MappingCache(cache_dir, max_mb=3 * entry_size / 1e6)
+        import time
+
+        cache.store("0" * 64, outcome)
+        time.sleep(0.02)
+        cache.store("1" * 64, outcome)
+        # entry + entry + 2*entry temp > 3*entry budget: oldest evicted.
+        assert cache.stats.evicted >= 1
+        assert big.exists()  # budget never deletes fresh temps
+
+    def test_directory_stats_shape(self, tmp_path, outcome):
+        cache = MappingCache(tmp_path)
+        cache.store("a" * 64, outcome)
+        self._orphan(tmp_path, age=1.0)
+        stats = cache.directory_stats()
+        assert stats["entries"] == 1
+        assert stats["entry_bytes"] > 0
+        assert stats["oldest_entry_age_s"] >= 0
+        assert stats["temp_files"] == 1
+        assert stats["temp_bytes"] > 0
+        assert stats["max_bytes"] is None
+
+
+class TestNamespaces:
+    """Tenant namespaces select subdirectories and never escape the root."""
+
+    def test_no_namespace_is_the_root(self, tmp_path):
+        from repro.search.cache import resolve_cache_dir
+
+        assert resolve_cache_dir(tmp_path) == tmp_path
+
+    def test_namespace_selects_subdirectory(self, tmp_path):
+        from repro.search.cache import resolve_cache_dir
+
+        assert resolve_cache_dir(tmp_path, "team-a") == tmp_path / "team-a"
+
+    def test_illegal_namespaces_rejected(self, tmp_path):
+        from repro.search.cache import resolve_cache_dir
+
+        for namespace in ("../up", "a/b", ".hidden", "", "x" * 80, "a b"):
+            with pytest.raises(ValueError, match="illegal cache namespace"):
+                resolve_cache_dir(tmp_path, namespace)
+
+    def test_namespaced_runs_are_isolated(self, tmp_path):
+        a = _map("srand", tmp_path, cache_namespace="team-a")
+        b = _map("srand", tmp_path, cache_namespace="team-b")
+        assert a.success and b.success
+        assert not b.cache_hit  # team-b cannot see team-a's entry
+        assert list((tmp_path / "team-a").glob("*.json"))
+        assert list((tmp_path / "team-b").glob("*.json"))
+        again = _map("srand", tmp_path, cache_namespace="team-a")
+        assert again.cache_hit

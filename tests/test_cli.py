@@ -378,3 +378,68 @@ class TestArchitectureFlags:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "error:" in captured.err
+
+
+class TestSweepErrorPath:
+    def test_mid_sweep_backend_loss_is_one_line_error(self, capsys, monkeypatch):
+        """A solver binary vanishing mid-sweep must surface exactly like
+        the map path: 'error: ...' on stderr, exit 2, no traceback."""
+        import repro.cli as cli_module
+        from repro.sat.backend import BackendUnavailableError
+
+        def vanish(config, progress=True, jobs=1):
+            raise BackendUnavailableError(
+                "external solver 'kissat' disappeared mid-sweep"
+            )
+
+        monkeypatch.setattr(cli_module, "run_sweep", vanish)
+        exit_code = main([
+            "sweep", "--kernels", "srand", "--sizes", "2", "--timeout", "5",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert captured.err.count("\n") == 1
+        assert "kissat" in captured.err
+
+    def test_mid_sweep_mapping_error_is_one_line_error(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.exceptions import MappingError
+
+        def explode(config, progress=True, jobs=1):
+            raise MappingError("scenario fabric rejected kernel")
+
+        monkeypatch.setattr(cli_module, "run_sweep", explode)
+        exit_code = main([
+            "sweep", "--kernels", "srand", "--sizes", "2", "--timeout", "5",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert captured.err.count("\n") == 1
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8157
+        assert args.pool == 2
+        assert args.cache == ".service-cache"
+        assert args.cache_max_mb is None
+        assert args.default_timeout == 60.0
+        assert args.max_timeout == 600.0
+
+    def test_serve_flags_plumbed(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--pool", "4", "--cache", "/tmp/c",
+            "--cache-max-mb", "64", "--tuner", "/tmp/t",
+            "--default-timeout", "30", "--max-timeout", "120",
+        ])
+        assert args.port == 0
+        assert args.pool == 4
+        assert args.cache == "/tmp/c"
+        assert args.cache_max_mb == 64.0
+        assert args.tuner == "/tmp/t"
+        assert args.default_timeout == 30.0
+        assert args.max_timeout == 120.0
