@@ -26,7 +26,7 @@ from repro.core.mapper import MapperConfig, SatMapItMapper
 from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
 from repro.core.visualize import render_mapping_report
 from repro.dfg.analysis import minimum_initiation_interval
-from repro.exceptions import ArchitectureError, MappingError
+from repro.exceptions import ArchitectureError, FarmError, MappingError
 from repro.experiments.perf import (
     DEFAULT_OUTPUT as BENCH_DEFAULT_OUTPUT,
     SUITES as BENCH_SUITES,
@@ -249,10 +249,19 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.farm.faults import FaultPlan
+
     error = _backend_error(args)
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    faults = None
+    if args.chaos:
+        try:
+            faults = FaultPlan.from_spec(args.chaos)
+        except ValueError as exc:
+            return _cli_error(exc)
+    journal_dir = args.resume if args.resume else args.journal
     config = ExperimentConfig(
         kernels=tuple(args.kernels),
         sizes=tuple(args.sizes),
@@ -271,21 +280,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         dimacs_dir=args.dimacs_dir,
         reuse_dimacs=args.reuse_dimacs,
         proof=args.proof,
+        max_retries=args.max_retries,
+        lease_ttl=args.lease_ttl,
     )
     print(f"running sweep: {len(config.kernels)} kernels x "
           f"{len(config.sizes)} sizes x {len(config.mappers)} mappers"
           + (f" x {len(config.scenarios)} scenarios"
              if len(config.scenarios) > 1 else "")
-          + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else ""))
+          + (f" ({args.jobs} parallel jobs)" if args.jobs > 1 else "")
+          + (f", resuming {args.resume}" if args.resume else ""))
     try:
-        sweep = run_sweep(config, progress=True, jobs=args.jobs)
-    except (MappingError, BackendUnavailableError) as exc:
+        sweep = run_sweep(
+            config,
+            progress=True,
+            jobs=args.jobs,
+            journal_dir=journal_dir,
+            resume=bool(args.resume),
+            faults=faults,
+        )
+    except (MappingError, BackendUnavailableError, FarmError) as exc:
         # The up-front validation cannot catch everything: an external
         # solver binary can vanish (or break) between the check and a
-        # mid-sweep run, and a scenario fabric can reject a kernel.  Both
-        # must surface exactly like the ``map`` path — one line, install
-        # hint intact — not as a worker-process traceback.
+        # mid-sweep run, a scenario fabric can reject a kernel, and a
+        # --resume can point at a journal from a different configuration.
+        # All must surface exactly like the ``map`` path — one line,
+        # install hint intact — not as a worker-process traceback.
         return _cli_error(exc)
+    if sweep.farm is not None:
+        print(f"\nfarm: {sweep.farm.summary()}")
+        for record in sweep.records:
+            if record.quarantined:
+                print(f"  quarantined: {record.kernel} {record.size}x"
+                      f"{record.size} {record.mapper} [{record.scenario}]: "
+                      f"{record.failure}")
     if config.cache_dir:
         hits = sum(1 for r in sweep.records if r.cache_hit)
         sat_runs = sum(1 for r in sweep.records if r.mapper == SAT_MAPIT)
@@ -466,7 +493,32 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-run timeout in seconds (paper: 4000)")
     sweep_cmd.add_argument("--pathseeker-repeats", type=int, default=3)
     sweep_cmd.add_argument("--jobs", type=int, default=1,
-                           help="run the sweep on N parallel processes")
+                           help="run the sweep on N parallel worker "
+                                "processes (the fault-tolerant farm)")
+    sweep_cmd.add_argument("--journal", metavar="DIR",
+                           help="keep the farm's work journal in DIR so a "
+                                "killed sweep can be picked up again with "
+                                "--resume DIR")
+    sweep_cmd.add_argument("--resume", metavar="DIR",
+                           help="resume the journalled sweep in DIR: "
+                                "finished items are served from the "
+                                "journal, only unfinished ones are run "
+                                "(the sweep flags must match the original "
+                                "invocation)")
+    sweep_cmd.add_argument("--max-retries", type=int, default=3,
+                           help="transient-failure retries per work item "
+                                "before it is quarantined as poison "
+                                "(default: 3)")
+    sweep_cmd.add_argument("--lease-ttl", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="lease TTL: a worker that stops "
+                                "heartbeating this long is presumed dead "
+                                "and its item is requeued (default: 60)")
+    sweep_cmd.add_argument("--chaos", metavar="SPEC",
+                           help="inject deterministic faults (testing), "
+                                "e.g. 'kill-after=2,backend-rate=0.5'; "
+                                "same grammar as the REPRO_CHAOS "
+                                "environment variable")
     sweep_cmd.add_argument("--backend", default="cdcl", metavar="NAME",
                            help="solver backend for SAT-MapIt: one of "
                                 f"{', '.join(available_backends())}, or "

@@ -38,3 +38,10 @@ class RegisterAllocationError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the CGRA simulator detects an illegal execution."""
+
+
+class FarmError(ReproError):
+    """Raised for unrecoverable sweep-farm conditions: a corrupt work
+    journal, a resume attempt against a journal written by a different
+    experiment configuration, or a journal directory that already holds a
+    sweep (use ``--resume`` or a fresh directory)."""

@@ -142,6 +142,17 @@ SUITES = {"default": PINNED_SUITE, "quick": QUICK_SUITE}
 #: Seed pinned for every case so two runs do identical solver work.
 BENCH_SEED = 0
 
+#: The farm throughput probe: a small end-to-end sweep pushed through the
+#: leased work-queue farm (``repro.farm``) with two workers.  Unlike the
+#: solver cases above it measures the *service* rate the farm sustains —
+#: its headline stat is ``kernels_mapped_per_minute`` — so scheduler
+#: overhead (leases, heartbeats, journalling to a scratch directory, the
+#: fork-per-worker tax) is on the clock alongside the mapping itself.
+FARM_CASE_NAME = "farm-sweep@3x3!jobs2"
+FARM_KERNELS = ("srand", "basicmath", "gsm")
+FARM_SIZE = 3
+FARM_JOBS = 2
+
 #: Cases whose baseline wall time is below this are reported but never fail
 #: the gate: a single-repeat sub-50ms pure-Python run on a shared CI machine
 #: swings by more than the 3x tolerance on scheduler noise alone.
@@ -269,8 +280,80 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict:
     return record
 
 
+def run_farm_case(repeats: int = 1) -> dict:
+    """Run the farm throughput probe and return a suite-shaped record.
+
+    The record carries the standard case keys (so :func:`compare` and the
+    aggregate loops treat it uniformly) with solver-core counters nulled —
+    a sweep spans many solves across worker processes, so per-conflict
+    stats are not meaningful here.  ``status`` is ``"swept"``, which keeps
+    the probe out of the suite-level ``kernels_mapped_per_minute`` total
+    (that total is the single-process number; this case is the farm's).
+    """
+    from repro.experiments.runner import (
+        RAMP,
+        SAT_MAPIT,
+        ExperimentConfig,
+        run_sweep,
+    )
+
+    config = ExperimentConfig(
+        kernels=FARM_KERNELS,
+        sizes=(FARM_SIZE,),
+        mappers=(SAT_MAPIT, RAMP),
+        timeout=120.0,
+        seed=BENCH_SEED,
+    )
+    runs: list[tuple[float, dict]] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        sweep = run_sweep(config, jobs=FARM_JOBS)
+        wall = time.perf_counter() - start
+        mapped = sum(1 for r in sweep.records if r.status == "mapped")
+        farm = sweep.farm
+        record = {
+            "name": FARM_CASE_NAME,
+            "kernel": "+".join(FARM_KERNELS),
+            "size": FARM_SIZE,
+            "bounded": False,
+            "conflict_limit": None,
+            "search": "farm",
+            "seeded": False,
+            "backend": "cdcl",
+            "seed_ii": None,
+            "status": "swept",
+            "ii": None,
+            "attempts": len(sweep.records),
+            "solve_s": 0.0,
+            "encode_s": 0.0,
+            "conflicts": None,
+            "propagations": None,
+            "binary_propagations": None,
+            "blocker_skips": None,
+            "arena_bytes": None,
+            "jobs": FARM_JOBS,
+            "items": len(sweep.records),
+            "mapped": mapped,
+            "kernels_mapped_per_minute": (
+                round(60.0 * mapped / wall, 2) if wall else 0.0
+            ),
+            "farm_retries": farm.retries if farm else 0,
+            "farm_quarantined": farm.quarantined if farm else 0,
+        }
+        runs.append((wall, record))
+    runs.sort(key=lambda entry: entry[0])
+    median_wall, record = runs[len(runs) // 2]
+    record["wall_s"] = round(median_wall, 4)
+    record["wall_runs_s"] = [round(w, 4) for w, _ in runs]
+    record["propagations_per_s"] = None
+    return record
+
+
 def run_suite(
-    suite: str = "default", repeats: int = 3, progress: bool = False
+    suite: str = "default",
+    repeats: int = 3,
+    progress: bool = False,
+    farm: bool = False,
 ) -> dict:
     """Run a pinned suite and return the full benchmark document."""
     try:
@@ -294,6 +377,18 @@ def run_suite(
                 f"solve={record['solve_s']:8.3f}s encode={record['encode_s']:6.3f}s "
                 f"conflicts={conflicts if conflicts is not None else '-':>6} "
                 f"props/s={rate if rate is not None else '-'}",
+                flush=True,
+            )
+    if farm:
+        # One repeat is enough: the sweep spans six mapper runs, so the
+        # farm probe self-averages more than any single-solve case does.
+        record = run_farm_case(repeats=1)
+        records.append(record)
+        if progress:
+            print(
+                f"  {record['name']:22s} wall={record['wall_s']:8.3f}s "
+                f"mapped={record['mapped']}/{record['items']} "
+                f"kernels/min={record['kernels_mapped_per_minute']}",
                 flush=True,
             )
     # Annotate every non-ladder case with its wall-clock ratio against the
@@ -581,6 +676,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-slowdown", type=float, default=3.0,
                         help="per-case wall-time ratio that fails the "
                              "--baseline gate (default: 3.0)")
+    parser.add_argument("--no-farm", action="store_true",
+                        help="skip the farm throughput probe "
+                             f"({FARM_CASE_NAME})")
     parser.add_argument("--check-strategies", action="store_true",
                         help="re-run every completing case under the bisect "
                              "and portfolio strategies (and one external "
@@ -608,7 +706,10 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"perf harness: suite={args.suite} repeats={args.repeats} "
           f"seed={BENCH_SEED}")
-    results = run_suite(args.suite, repeats=args.repeats, progress=True)
+    results = run_suite(
+        args.suite, repeats=args.repeats, progress=True,
+        farm=not args.no_farm,
+    )
     totals = results["totals"]
     print(f"totals: wall={totals['wall_s']:.3f}s solve={totals['solve_s']:.3f}s "
           f"encode={totals['encode_s']:.3f}s "

@@ -288,6 +288,39 @@ def render_markdown_report(sweep: SweepResult, options: ReportOptions | None = N
             "",
         ]
     )
+    if sweep.farm is not None:
+        farm = sweep.farm
+        quarantined = [r for r in sweep.records if r.quarantined]
+        retried = sum(1 for r in sweep.records if r.retries)
+        lines.extend(
+            [
+                "## Fault tolerance (work-queue farm)",
+                "",
+                f"* resumed from an earlier journal: "
+                f"**{'yes' if farm.resumed else 'no'}** "
+                f"(**{farm.skipped}** finished item(s) served from the "
+                f"journal without re-solving)",
+                f"* items completed this run: **{farm.completed}** of "
+                f"**{farm.items}**",
+                f"* transient failures retried: **{farm.retries}** "
+                f"(**{retried}** item(s) needed at least one retry)",
+                f"* leases expired (worker stopped heartbeating): "
+                f"**{farm.leases_expired}**",
+                f"* worker crashes / respawns: **{farm.worker_crashes}** / "
+                f"**{farm.worker_respawns}**",
+                f"* poison items quarantined: **{farm.quarantined}**"
+                + (
+                    " — " + "; ".join(
+                        f"{r.kernel} {r.size}x{r.size} {r.mapper} "
+                        f"[{r.scenario}]: {r.failure}"
+                        for r in quarantined
+                    )
+                    if quarantined
+                    else ""
+                ),
+                "",
+            ]
+        )
     if config.seed_heuristic or config.tuner_dir:
         seeded, found, used, seconds, consults = seed_totals(sweep)
         lines.extend(

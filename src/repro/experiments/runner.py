@@ -6,16 +6,22 @@ and an II cap of 50, repeating PathSeeker ten times because it is randomised.
 This module reproduces that protocol with configurable (smaller) budgets so
 the full sweep stays tractable on a laptop and inside the test-suite.
 
-``run_sweep(jobs=N)`` distributes the (kernel, size, mapper) runs over a
-process pool.  Runs are independent and each mapper is deterministic for a
-fixed configuration, so a parallel sweep produces record-for-record the same
-results as the serial one, in the same order.
+``run_sweep(jobs=N)`` distributes the (kernel, size, mapper) runs over the
+fault-tolerant work-queue farm (:mod:`repro.farm`): every run becomes a
+journalled work item handed to worker processes under leases, so a crashed
+worker costs one retry, not the sweep, and a SIGKILLed sweep can be resumed
+(``journal_dir=`` / ``resume=True``) without re-solving finished items.
+Runs are independent and each mapper is deterministic for a fixed
+configuration, so a parallel (or resumed, or fault-injected) sweep produces
+record-for-record the same results as the serial one, in the same order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import contextlib
+import tempfile
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.baselines import BaselineConfig, PathSeekerMapper, RampMapper
 from repro.cgra.architecture import CGRA
@@ -24,6 +30,10 @@ from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
 from repro.dfg.graph import DFG
 from repro.kernels import all_kernel_names, get_kernel
 from repro.sat.encodings import AMOEncoding
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.farm.faults import FaultPlan
+    from repro.farm.leases import FarmStats
 
 SAT_MAPIT = "SAT-MapIt"
 RAMP = "RAMP"
@@ -108,6 +118,12 @@ class ExperimentConfig:
     reuse_dimacs: bool = False
     #: Log DRAT proofs for UNSAT attempts in the SAT-MapIt runs.
     proof: bool = False
+    #: Farm execution knobs (parallel sweeps only; excluded from the
+    #: journal compatibility digest so a resume may loosen them): retry cap
+    #: per work item before quarantine, and the lease TTL after which a
+    #: non-heartbeating worker is presumed dead and its item requeued.
+    max_retries: int = 3
+    lease_ttl: float = 60.0
 
 
 @dataclass
@@ -163,6 +179,15 @@ class RunRecord:
     seed_time: float = 0.0
     #: Whether the portfolio consulted persisted lane statistics.
     tuner_consulted: bool = False
+    #: Farm provenance (parallel sweeps only): transient-failure retries
+    #: this item consumed before the recorded result, whether the record
+    #: was served from a resumed journal without re-solving, whether the
+    #: item was quarantined as poison (status ``"failed"``), and the final
+    #: failure message for quarantined items.
+    retries: int = 0
+    resumed: bool = False
+    quarantined: bool = False
+    failure: str = ""
 
     @property
     def succeeded(self) -> bool:
@@ -175,6 +200,9 @@ class SweepResult:
 
     config: ExperimentConfig
     records: list[RunRecord] = field(default_factory=list)
+    #: Farm counters (``None`` for serial sweeps): completions, resumes,
+    #: retries, lease expiries, worker crashes, quarantined items.
+    farm: "FarmStats | None" = None
 
     def record(
         self, kernel: str, size: int, mapper: str, scenario: str = HOMOGENEOUS
@@ -331,55 +359,132 @@ def _outcome_rank(outcome: MappingOutcome) -> tuple[int, float]:
     return (10_000, outcome.total_time)
 
 
+def _print_record(record: RunRecord) -> None:
+    ii = record.ii if record.ii is not None else "-"
+    scenario_tag = (
+        "" if record.scenario == HOMOGENEOUS else f" [{record.scenario}]"
+    )
+    cache_tag = " [cache]" if record.cache_hit else ""
+    resume_tag = " [resumed]" if record.resumed else ""
+    retry_tag = f" [retries={record.retries}]" if record.retries else ""
+    print(
+        f"  {record.kernel:13s} {record.size}x{record.size} "
+        f"{record.mapper:10s} II={ii} "
+        f"({record.status}, {record.mapping_time:.2f}s)"
+        f"{scenario_tag}{cache_tag}{resume_tag}{retry_tag}",
+        flush=True,
+    )
+
+
 def run_sweep(
     config: ExperimentConfig | None = None,
     progress: bool = False,
     jobs: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> SweepResult:
     """Run the full (kernels x sizes x mappers) sweep.
 
-    ``jobs`` > 1 distributes the independent runs over a process pool; the
-    records come back in the same deterministic order as the serial sweep.
+    ``jobs`` > 1 distributes the independent runs over the fault-tolerant
+    farm (:mod:`repro.farm`); the records come back in the same
+    deterministic order as the serial sweep.  ``journal_dir`` keeps the
+    farm's work journal in a named directory so a killed sweep can be
+    picked up again with ``resume=True`` (finished items are served from
+    the journal, not re-solved); without it the journal lives in a
+    throwaway temp directory.  ``faults`` injects deterministic failures
+    (see :class:`repro.farm.faults.FaultPlan`); when it is ``None`` the
+    ``REPRO_CHAOS`` environment variable is consulted.
     """
+    from repro.farm.faults import FaultPlan
+
     config = config or ExperimentConfig()
+    if faults is None:
+        faults = FaultPlan.from_env()
+    use_farm = (
+        jobs > 1
+        or journal_dir is not None
+        or resume
+        or (faults is not None and faults.active)
+    )
+    if use_farm:
+        return _run_farm_sweep(config, progress, max(1, jobs),
+                               journal_dir, resume, faults)
+
     result = SweepResult(config=config)
-    tasks = [
-        (kernel, size, mapper_name, scenario)
-        for scenario in (config.scenarios or (HOMOGENEOUS,))
-        for kernel in config.kernels
-        for size in config.sizes
-        for mapper_name in config.mappers
-    ]
-
-    def _report(record: RunRecord) -> None:
-        if progress:
-            ii = record.ii if record.ii is not None else "-"
-            scenario_tag = (
-                "" if record.scenario == HOMOGENEOUS else f" [{record.scenario}]"
-            )
-            cache_tag = " [cache]" if record.cache_hit else ""
-            print(
-                f"  {record.kernel:13s} {record.size}x{record.size} "
-                f"{record.mapper:10s} II={ii} "
-                f"({record.status}, {record.mapping_time:.2f}s)"
-                f"{scenario_tag}{cache_tag}",
-                flush=True,
-            )
-
-    if jobs <= 1:
-        for kernel, size, mapper_name, scenario in tasks:
-            record = run_single(kernel, size, mapper_name, config, scenario)
-            result.records.append(record)
-            _report(record)
-        return result
-
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(run_single, kernel, size, mapper_name, config, scenario)
-            for kernel, size, mapper_name, scenario in tasks
-        ]
-        for future in futures:
-            record = future.result()
-            result.records.append(record)
-            _report(record)
+    for scenario in (config.scenarios or (HOMOGENEOUS,)):
+        for kernel in config.kernels:
+            for size in config.sizes:
+                for mapper_name in config.mappers:
+                    record = run_single(kernel, size, mapper_name, config, scenario)
+                    result.records.append(record)
+                    if progress:
+                        _print_record(record)
     return result
+
+
+def _run_farm_sweep(
+    config: ExperimentConfig,
+    progress: bool,
+    jobs: int,
+    journal_dir: str | None,
+    resume: bool,
+    faults: "FaultPlan | None",
+) -> SweepResult:
+    """Run the sweep through the leased work-queue farm."""
+    from repro.farm.retry import RetryPolicy
+    from repro.farm.scheduler import FarmConfig, run_farm
+
+    report = (lambda record: _print_record(RunRecord(**record))) if progress else None
+    with contextlib.ExitStack() as stack:
+        if journal_dir is None:
+            journal_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-farm-")
+            )
+        farm = FarmConfig(
+            jobs=jobs,
+            lease_ttl=config.lease_ttl,
+            policy=RetryPolicy(max_retries=config.max_retries),
+            journal_dir=journal_dir,
+            resume=resume,
+            faults=faults,
+        )
+        outcome = run_farm(config, farm, report=report)
+
+    result = SweepResult(config=config, farm=outcome.stats)
+    for item in outcome.items:
+        record = outcome.records.get(item.id)
+        if record is not None:
+            result.records.append(RunRecord(**record))
+        else:
+            result.records.append(
+                _quarantined_record(
+                    item,
+                    outcome.quarantined.get(item.id, "quarantined"),
+                    outcome.attempts.get(item.id, 0),
+                )
+            )
+    return result
+
+
+def _quarantined_record(item, error: str, retries: int) -> RunRecord:
+    """Synthesise the record of a poison item (never completed)."""
+    try:
+        num_nodes = get_kernel(item.kernel).num_nodes
+    except Exception:
+        num_nodes = 0
+    return RunRecord(
+        kernel=item.kernel,
+        size=item.size,
+        mapper=item.mapper,
+        status="failed",
+        ii=None,
+        mapping_time=0.0,
+        minimum_ii=0,
+        attempts=0,
+        num_nodes=num_nodes,
+        scenario=item.scenario,
+        retries=retries,
+        quarantined=True,
+        failure=error,
+    )

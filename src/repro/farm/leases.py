@@ -1,0 +1,271 @@
+"""Leased work queue: the farm's in-scheduler state machine.
+
+Pure bookkeeping — no processes, no threads, injectable clock — so the
+lease/heartbeat/retry/quarantine protocol is unit-testable without ever
+spawning a worker.  The scheduler (:mod:`repro.farm.scheduler`) drives it
+from real events; the tests drive it from a fake clock.
+
+Item lifecycle::
+
+    pending --acquire--> leased --complete--> done
+       ^                   |
+       |                   +--fail(transient)--> pending (after backoff)
+       +--expire (lease TTL without heartbeat)--+
+                           |
+                           +--fail(permanent) / retry cap -----> quarantined
+
+Every transition is mirrored into the journal (when one is attached), so
+the queue's in-memory state is always reconstructible from disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.farm.journal import SweepJournal, WorkItem
+from repro.farm.retry import PERMANENT, RetryPolicy
+
+
+@dataclass
+class FarmStats:
+    """Counters for one farm run, surfaced through the sweep report."""
+
+    items: int = 0
+    completed: int = 0
+    #: Items served straight from the journal on resume (never re-solved).
+    skipped: int = 0
+    #: Retry attempts scheduled (transient failures under the cap).
+    retries: int = 0
+    #: Transient failures observed (crashes, backend errors, expiries).
+    transient_failures: int = 0
+    #: Leases revoked because the worker stopped heartbeating.
+    leases_expired: int = 0
+    #: Worker processes that died without delivering a verdict.
+    worker_crashes: int = 0
+    #: Replacement workers spawned after crashes/reaps.
+    worker_respawns: int = 0
+    #: Items on the poison list (permanent failure or retry cap).
+    quarantined: int = 0
+    #: Whether this run resumed an earlier journal.
+    resumed: bool = False
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        tags = [
+            f"{self.completed}/{self.items} item(s) completed",
+            f"{self.skipped} resumed from journal",
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}",
+            f"{self.leases_expired} lease(s) expired",
+            f"{self.worker_crashes} worker crash(es)",
+            f"{self.quarantined} quarantined",
+        ]
+        return ", ".join(tags)
+
+
+@dataclass
+class Lease:
+    """One item checked out to one worker."""
+
+    item: WorkItem
+    worker: int
+    attempt: int
+    granted: float
+    last_heartbeat: float = field(default=0.0)
+
+    def deadline(self, ttl: float) -> float:
+        return max(self.granted, self.last_heartbeat) + ttl
+
+
+class LeasedWorkQueue:
+    """Work items under leases, retries and quarantine (see module doc)."""
+
+    def __init__(
+        self,
+        items: list[WorkItem],
+        policy: RetryPolicy | None = None,
+        lease_ttl: float = 60.0,
+        journal: SweepJournal | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.lease_ttl = lease_ttl
+        self.journal = journal
+        self.clock = clock
+        self.stats = FarmStats(items=len(items))
+        self.items = {item.id: item for item in items}
+        if len(self.items) != len(items):
+            raise ValueError("duplicate work-item IDs")
+        #: (ready_at, index) heap of items available for lease.
+        self._ready: list[tuple[float, int, str]] = []
+        self._leases: dict[str, Lease] = {}
+        self._by_worker: dict[int, str] = {}
+        self._attempts: dict[str, int] = {}
+        self.results: dict[str, dict] = {}
+        self.quarantined: dict[str, str] = {}
+        #: Last failure message per item (diagnostics for the report).
+        self.failures: dict[str, str] = {}
+        now = self.clock()
+        for item in items:
+            heapq.heappush(self._ready, (now, item.index, item.id))
+
+    # -- resume preload ------------------------------------------------
+    def preload_done(self, item_id: str, record: dict) -> None:
+        """Mark an item finished from a replayed journal (never re-run)."""
+        self._drop_pending(item_id)
+        self.results[item_id] = record
+        self.stats.skipped += 1
+
+    def preload_quarantined(self, item_id: str, error: str) -> None:
+        self._drop_pending(item_id)
+        self.quarantined[item_id] = error
+        self.failures[item_id] = error
+        self.stats.quarantined += 1
+
+    def preload_attempts(self, item_id: str, attempts: int) -> None:
+        self._attempts[item_id] = attempts
+        self.stats.retries += attempts
+
+    def _drop_pending(self, item_id: str) -> None:
+        self._ready = [entry for entry in self._ready if entry[2] != item_id]
+        heapq.heapify(self._ready)
+
+    # -- lease protocol ------------------------------------------------
+    def acquire(self, worker: int, now: float | None = None):
+        """Lease the next ready item to ``worker``.
+
+        Returns ``(item, attempt)`` or ``None`` when nothing is ready
+        (items may still be backing off — see :meth:`next_ready_in`).
+        """
+        now = self.clock() if now is None else now
+        if worker in self._by_worker:
+            raise ValueError(f"worker {worker} already holds a lease")
+        if not self._ready or self._ready[0][0] > now:
+            return None
+        _ready_at, _index, item_id = heapq.heappop(self._ready)
+        item = self.items[item_id]
+        attempt = self._attempts.get(item_id, 0)
+        lease = Lease(item=item, worker=worker, attempt=attempt, granted=now)
+        self._leases[item_id] = lease
+        self._by_worker[worker] = item_id
+        if self.journal:
+            self.journal.append("lease", id=item_id, worker=worker, attempt=attempt)
+        return item, attempt
+
+    def heartbeat(self, worker: int, now: float | None = None) -> None:
+        """Record life from a worker, extending its lease (if any)."""
+        item_id = self._by_worker.get(worker)
+        if item_id is None:
+            return
+        lease = self._leases.get(item_id)
+        if lease is not None and lease.worker == worker:
+            lease.last_heartbeat = self.clock() if now is None else now
+
+    def lease_of(self, worker: int) -> str | None:
+        return self._by_worker.get(worker)
+
+    def expired(self, now: float | None = None) -> list[Lease]:
+        """Leases whose TTL elapsed without a heartbeat (not yet revoked)."""
+        now = self.clock() if now is None else now
+        return [
+            lease
+            for lease in self._leases.values()
+            if lease.deadline(self.lease_ttl) < now
+        ]
+
+    # -- outcomes ------------------------------------------------------
+    def complete(self, item_id: str, record: dict) -> bool:
+        """Accept a finished record; idempotent under duplicate delivery.
+
+        A slow worker whose lease was expired (and whose item was already
+        re-run) may still deliver a verdict — first result wins, later
+        duplicates are dropped.
+        """
+        self._release(item_id)
+        if item_id in self.results or item_id in self.quarantined:
+            return False
+        self._drop_pending(item_id)
+        self.results[item_id] = record
+        self.stats.completed += 1
+        if self.journal:
+            self.journal.append("done", id=item_id, record=record)
+        return True
+
+    def fail(self, item_id: str, error: str, kind: str, now: float | None = None) -> str:
+        """Handle a failed attempt: backoff-requeue or quarantine.
+
+        Returns the item's new state: ``"requeued"`` or ``"quarantined"``
+        (or ``"ignored"`` for duplicate/stale reports).
+        """
+        now = self.clock() if now is None else now
+        self._release(item_id)
+        if item_id in self.results or item_id in self.quarantined:
+            return "ignored"
+        self.failures[item_id] = error
+        attempt = self._attempts.get(item_id, 0)
+        if kind != PERMANENT:
+            self.stats.transient_failures += 1
+        if self.journal:
+            self.journal.append(
+                "failed", id=item_id, error=error, kind=kind, attempt=attempt
+            )
+        if kind == PERMANENT or self.policy.exhausted(attempt):
+            self.quarantined[item_id] = error
+            self.stats.quarantined += 1
+            if self.journal:
+                self.journal.append("quarantined", id=item_id, error=error)
+            return "quarantined"
+        delay = self.policy.backoff(attempt, key=item_id)
+        self._attempts[item_id] = attempt + 1
+        self.stats.retries += 1
+        item = self.items[item_id]
+        heapq.heappush(self._ready, (now + delay, item.index, item_id))
+        if self.journal:
+            self.journal.append(
+                "requeued", id=item_id, attempt=attempt + 1,
+                backoff_s=round(delay, 3),
+            )
+        return "requeued"
+
+    def expire(self, lease: Lease, now: float | None = None) -> str:
+        """Revoke one expired lease and requeue/quarantine its item."""
+        self.stats.leases_expired += 1
+        return self.fail(
+            lease.item.id,
+            f"lease expired after {self.lease_ttl:.1f}s without a heartbeat "
+            f"(worker {lease.worker})",
+            kind="transient",
+            now=now,
+        )
+
+    def _release(self, item_id: str) -> None:
+        lease = self._leases.pop(item_id, None)
+        if lease is not None and self._by_worker.get(lease.worker) == item_id:
+            del self._by_worker[lease.worker]
+
+    # -- progress ------------------------------------------------------
+    def attempts_of(self, item_id: str) -> int:
+        """Retry attempts consumed by one item so far."""
+        return self._attempts.get(item_id, 0)
+
+    @property
+    def finished(self) -> bool:
+        return len(self.results) + len(self.quarantined) >= len(self.items)
+
+    def next_ready_in(self, now: float | None = None) -> float | None:
+        """Seconds until the earliest backing-off item is ready (None when
+        the pending set is empty)."""
+        now = self.clock() if now is None else now
+        if not self._ready:
+            return None
+        return max(0.0, self._ready[0][0] - now)
+
+    @property
+    def outstanding(self) -> int:
+        """Items neither finished nor quarantined."""
+        return len(self.items) - len(self.results) - len(self.quarantined)

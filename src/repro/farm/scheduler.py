@@ -1,0 +1,433 @@
+"""The farm scheduler: worker pool, lease enforcement, crash recovery.
+
+One scheduler process (the caller) owns the :class:`LeasedWorkQueue`, the
+journal, and N worker processes.  Workers are deliberately dumb: receive a
+work item, run :func:`repro.experiments.runner.run_single`, send back a
+verdict, repeat.  All policy — retries, backoff, quarantine, lease expiry,
+respawn — lives in the scheduler, so a worker can die (or be SIGKILLed by
+the fault injector) at any instant without losing anything but the attempt
+in flight.
+
+Protocol
+--------
+
+* Each worker gets a private task queue; the scheduler pushes one
+  ``{"item": ..., "attempt": n}`` message per lease and ``None`` to stop.
+* All workers share one event queue back to the scheduler:
+  ``("heartbeat", worker, None)`` from a daemon thread every
+  ``lease_ttl / 4`` seconds, and ``("done" | "failed", worker, payload)``
+  per finished attempt.
+* A worker that stops heartbeating past the lease TTL is presumed wedged:
+  the scheduler reaps it (:func:`repro.search.portfolio.reap_process` —
+  SIGTERM, bounded grace, SIGKILL), expires the lease, requeues the item
+  and spawns a replacement.  A worker that *dies* (nonzero exit, signal)
+  is detected by liveness polling the same way.
+* Respawned workers get fresh monotonic IDs — a lease can never be
+  confused between a dead worker and its replacement, and one-shot
+  injected faults (targeted at worker 0) fire exactly once.
+
+Workers are forked, not spawned: the scheduler has already imported the
+whole mapper stack, and fork keeps per-respawn latency in milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import queue as stdlib_queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import FarmError
+from repro.farm.faults import FaultPlan
+from repro.farm.journal import (
+    SweepJournal,
+    WorkItem,
+    sweep_config_digest,
+    work_item_id,
+)
+from repro.farm.leases import FarmStats, LeasedWorkQueue
+from repro.farm.retry import TRANSIENT, RetryPolicy, classify_failure
+from repro.search.portfolio import reap_process
+
+__all__ = ["FarmConfig", "FarmOutcome", "materialise_items", "run_farm"]
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Execution knobs of one farm run (not part of the sweep protocol)."""
+
+    jobs: int = 2
+    lease_ttl: float = 60.0
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Journal directory (required — the journal is the resume contract).
+    journal_dir: str = ""
+    #: Resume an existing journal instead of starting a fresh one.
+    resume: bool = False
+    faults: FaultPlan | None = None
+    #: Scheduler event-wait quantum; also bounds lease-expiry latency.
+    poll_interval: float = 0.1
+    #: SIGTERM grace before a reap escalates to SIGKILL.
+    reap_grace: float = 2.0
+
+
+@dataclass
+class FarmOutcome:
+    """Everything the farm hands back to the sweep runner."""
+
+    items: list[WorkItem]
+    #: item id -> RunRecord as plain data, annotated with retries/resumed.
+    records: dict[str, dict]
+    #: item id -> final error message of poisoned items.
+    quarantined: dict[str, str]
+    #: item id -> retry attempts consumed (for items that needed any).
+    attempts: dict[str, int]
+    stats: FarmStats
+
+
+def materialise_items(config) -> list[WorkItem]:
+    """Expand a sweep configuration into its deterministic work-item list.
+
+    Same nesting order as the serial sweep (scenario, kernel, size,
+    mapper), so farm output sorted by item index is record-for-record the
+    serial output.
+    """
+    from repro.experiments.runner import HOMOGENEOUS
+
+    digest = sweep_config_digest(config)
+    items: list[WorkItem] = []
+    for scenario in (config.scenarios or (HOMOGENEOUS,)):
+        for kernel in config.kernels:
+            for size in config.sizes:
+                for mapper in config.mappers:
+                    items.append(
+                        WorkItem(
+                            index=len(items),
+                            id=work_item_id(kernel, size, mapper, scenario, digest),
+                            kernel=kernel,
+                            size=size,
+                            mapper=mapper,
+                            scenario=scenario,
+                        )
+                    )
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _heartbeat_loop(events, worker_id: int, interval: float, stop) -> None:
+    while not stop.wait(interval):
+        try:
+            events.put(("heartbeat", worker_id, None))
+        except Exception:  # pragma: no cover - scheduler already gone
+            return
+
+
+def _farm_worker(
+    worker_id: int,
+    tasks,
+    events,
+    config,
+    faults: FaultPlan | None,
+    heartbeat_interval: float,
+) -> None:
+    """Worker main: lease in, verdict out, until the ``None`` sentinel."""
+    from repro.experiments.runner import run_single
+
+    stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(events, worker_id, heartbeat_interval, stop),
+        daemon=True,
+    ).start()
+    received = 0
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        received += 1
+        if faults is not None:
+            # May SIGKILL or SIGSTOP this very process — before any solving
+            # or sending, so the lease is provably still open when we die.
+            faults.on_item_received(worker_id, received)
+        item = WorkItem.from_payload(task["item"])
+        attempt = int(task["attempt"])
+        try:
+            if faults is not None:
+                faults.check_backend(item.id, attempt)
+            record = run_single(
+                item.kernel, item.size, item.mapper, config, item.scenario
+            )
+            events.put(
+                ("done", worker_id, {"id": item.id,
+                                     "record": dataclasses.asdict(record)})
+            )
+        except BaseException as exc:
+            events.put(
+                (
+                    "failed",
+                    worker_id,
+                    {
+                        "id": item.id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "kind": classify_failure(exc),
+                    },
+                )
+            )
+    stop.set()
+
+
+# ---------------------------------------------------------------------------
+# Scheduler side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Worker:
+    id: int
+    process: mp.Process
+    tasks: object
+    busy: bool = False
+    stopping: bool = False
+
+
+class _Pool:
+    """The worker processes, with monotonic IDs across respawns."""
+
+    def __init__(self, ctx, events, config, farm: FarmConfig) -> None:
+        self._ctx = ctx
+        self._events = events
+        self._config = config
+        self._farm = farm
+        self._next_id = 0
+        self.workers: dict[int, _Worker] = {}
+        interval = max(0.02, min(1.0, farm.lease_ttl / 4.0))
+        self._heartbeat_interval = interval
+
+    def spawn(self) -> _Worker:
+        worker_id = self._next_id
+        self._next_id += 1
+        tasks = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=_farm_worker,
+            args=(
+                worker_id,
+                tasks,
+                self._events,
+                self._config,
+                self._farm.faults,
+                self._heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(id=worker_id, process=process, tasks=tasks)
+        self.workers[worker_id] = worker
+        return worker
+
+    def idle(self) -> list[_Worker]:
+        return [
+            w for w in self.workers.values()
+            if not w.busy and not w.stopping and w.process.is_alive()
+        ]
+
+    def remove(self, worker_id: int) -> _Worker | None:
+        return self.workers.pop(worker_id, None)
+
+    def shutdown(self, grace: float) -> None:
+        for worker in self.workers.values():
+            worker.stopping = True
+            try:
+                worker.tasks.put(None)
+            except Exception:  # pragma: no cover - broken pipe to dead child
+                pass
+        for worker in self.workers.values():
+            worker.process.join(timeout=grace)
+        for worker in self.workers.values():
+            if worker.process.is_alive():
+                reap_process(worker.process, grace=0.5)
+        self.workers.clear()
+
+
+def run_farm(config, farm: FarmConfig, report=None) -> FarmOutcome:
+    """Run one sweep through the fault-tolerant farm.
+
+    ``report`` (optional) is called with each freshly completed record
+    dict, in completion order — the runner uses it for ``--progress``.
+    """
+    if not farm.journal_dir:
+        raise FarmError("the farm needs a journal directory")
+    if farm.jobs < 1:
+        raise FarmError(f"farm needs at least one worker, got jobs={farm.jobs}")
+
+    start = time.perf_counter()
+    digest = sweep_config_digest(config)
+    items = materialise_items(config)
+    journal = SweepJournal(farm.journal_dir)
+
+    resumed_ids: set[str] = set()
+    if farm.resume:
+        state = journal.replay()
+        if state.config_digest != digest:
+            raise FarmError(
+                f"journal at {journal.path} was written by a different "
+                f"sweep configuration (or solver version); it cannot be "
+                f"resumed with these settings"
+            )
+        journal.reopen()
+        journal.append(
+            "resumed",
+            done=len(state.done),
+            quarantined=len(state.quarantined),
+            in_flight_expired=len(state.in_flight),
+        )
+    else:
+        state = None
+        journal.create(digest, items)
+
+    queue = LeasedWorkQueue(
+        items,
+        policy=farm.policy,
+        lease_ttl=farm.lease_ttl,
+        journal=journal,
+    )
+    if state is not None:
+        queue.stats.resumed = True
+        for item_id, record in state.done.items():
+            if item_id in queue.items:
+                queue.preload_done(item_id, record)
+                resumed_ids.add(item_id)
+        for item_id, error in state.quarantined.items():
+            if item_id in queue.items and item_id not in resumed_ids:
+                queue.preload_quarantined(item_id, error)
+        for item_id, attempts in state.attempts.items():
+            if item_id in queue.items and item_id not in queue.results:
+                queue.preload_attempts(item_id, attempts)
+
+    ctx = mp.get_context("fork")
+    events = ctx.Queue()
+    pool = _Pool(ctx, events, config, farm)
+    faults = farm.faults
+    corruptions_left = (
+        1 if faults is not None and faults.corrupt_cache_after is not None else 0
+    )
+
+    try:
+        for _ in range(farm.jobs):
+            if queue.outstanding > len(pool.workers):
+                pool.spawn()
+
+        while not queue.finished:
+            _dispatch(pool, queue)
+            event = _next_event(events, farm.poll_interval)
+            if event is not None:
+                kind, worker_id, payload = event
+                if kind == "heartbeat":
+                    queue.heartbeat(worker_id)
+                elif kind == "done":
+                    worker = pool.workers.get(worker_id)
+                    if worker is not None:
+                        worker.busy = False
+                    if queue.complete(payload["id"], payload["record"]):
+                        if report is not None:
+                            report(payload["record"])
+                        if (
+                            corruptions_left
+                            and faults.corrupt_cache_after is not None
+                            and queue.stats.completed > faults.corrupt_cache_after
+                            and getattr(config, "cache_dir", None)
+                        ):
+                            from repro.farm.faults import corrupt_newest_entry
+
+                            corrupt_newest_entry(config.cache_dir)
+                            corruptions_left = 0
+                elif kind == "failed":
+                    worker = pool.workers.get(worker_id)
+                    if worker is not None:
+                        worker.busy = False
+                    queue.fail(payload["id"], payload["error"], payload["kind"])
+            _reap_dead(pool, queue)
+            _expire_leases(pool, queue, farm)
+    finally:
+        pool.shutdown(grace=farm.reap_grace)
+        queue.stats.wall_s = time.perf_counter() - start
+        journal.close()
+
+    records: dict[str, dict] = {}
+    for item_id, record in queue.results.items():
+        annotated = dict(record)
+        annotated["retries"] = queue.attempts_of(item_id)
+        annotated["resumed"] = item_id in resumed_ids
+        records[item_id] = annotated
+    return FarmOutcome(
+        items=items,
+        records=records,
+        quarantined=dict(queue.quarantined),
+        attempts={
+            item_id: queue.attempts_of(item_id)
+            for item_id in queue.items
+            if queue.attempts_of(item_id)
+        },
+        stats=queue.stats,
+    )
+
+
+def _dispatch(pool: _Pool, queue: LeasedWorkQueue) -> None:
+    for worker in pool.idle():
+        leased = queue.acquire(worker.id)
+        if leased is None:
+            return
+        item, attempt = leased
+        worker.tasks.put({"item": item.payload(), "attempt": attempt})
+        worker.busy = True
+
+
+def _next_event(events, poll_interval: float):
+    try:
+        return events.get(timeout=poll_interval)
+    except stdlib_queue.Empty:
+        return None
+
+
+def _reap_dead(pool: _Pool, queue: LeasedWorkQueue) -> None:
+    """Detect workers that died without delivering; requeue and respawn."""
+    for worker in list(pool.workers.values()):
+        if worker.process.is_alive():
+            continue
+        pool.remove(worker.id)
+        worker.process.join()
+        if worker.stopping:
+            continue
+        queue.stats.worker_crashes += 1
+        item_id = queue.lease_of(worker.id)
+        if item_id is not None:
+            exitcode = worker.process.exitcode
+            queue.fail(
+                item_id,
+                f"worker {worker.id} died (exit code {exitcode}) while "
+                f"holding the lease",
+                TRANSIENT,
+            )
+        if queue.outstanding > len(pool.workers):
+            pool.spawn()
+            queue.stats.worker_respawns += 1
+
+
+def _expire_leases(pool: _Pool, queue: LeasedWorkQueue, farm: FarmConfig) -> None:
+    """Revoke leases whose worker stopped heartbeating; reap the worker.
+
+    A wedged (SIGSTOPped) worker is still *alive*, so liveness polling
+    never catches it — only the missing heartbeats do.  ``reap_process``
+    handles the stopped state: SIGTERM is not delivered to a stopped
+    process, but the SIGKILL escalation is.
+    """
+    for lease in queue.expired():
+        worker = pool.remove(lease.worker)
+        queue.expire(lease)
+        if worker is not None:
+            reap_process(worker.process, grace=farm.reap_grace)
+        if queue.outstanding > len(pool.workers):
+            pool.spawn()
+            queue.stats.worker_respawns += 1

@@ -37,6 +37,7 @@ rates instead of garbage.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import shutil
@@ -74,6 +75,16 @@ EXTERNAL_PREFIX = "external:"
 #: The bundled pure-Python solver (always available; used as the CI-free
 #: stand-in for a system solver).
 BUNDLED_BACKEND = "subprocess"
+
+#: Transient launch-failure handling: a loaded machine can refuse a fork
+#: (ENOMEM / EAGAIN) or OOM-kill a just-started solver, and neither says
+#: anything about the binary itself — unlike ENOENT, which no amount of
+#: retrying fixes.  Such failures are retried with bounded exponential
+#: backoff before :class:`BackendUnavailableError` is raised; the error
+#: message reports how many attempts were burned.
+LAUNCH_RETRIES = 2
+LAUNCH_BACKOFF = 0.05
+_TRANSIENT_LAUNCH_ERRNOS = frozenset({errno.ENOMEM, errno.EAGAIN})
 
 
 class ExternalSolverError(RuntimeError):
@@ -415,6 +426,16 @@ class SubprocessBackend:
     def _run(
         self, argv: list[str], time_limit: float | None
     ) -> tuple[int | None, str, str]:
+        """Launch the solver, retrying transient failures (see module doc).
+
+        Two failure shapes are retried with bounded backoff: the fork
+        itself being refused (ENOMEM/EAGAIN under memory pressure), and
+        the solver dying on a signal before printing any verdict (an
+        OOM-killed or operator-killed process, not a wrong answer).  A
+        non-transient launch error (ENOENT, EACCES) raises immediately;
+        exhausting the retries raises :class:`BackendUnavailableError`
+        whose message reports the attempt count.
+        """
         env = os.environ.copy()
         # The bundled solver (and any external:<script>) must be able to
         # import this package from a bare checkout.
@@ -426,29 +447,64 @@ class SubprocessBackend:
         popen_kwargs: dict[str, object] = {}
         if os.name == "posix":
             popen_kwargs["start_new_session"] = True
-        try:
-            proc = subprocess.Popen(
-                argv,
-                stdout=subprocess.PIPE,
-                stderr=subprocess.PIPE,
-                text=True,
-                env=env,
-                **popen_kwargs,  # type: ignore[arg-type]
-            )
-        except OSError as exc:
-            raise BackendUnavailableError(
-                binary=argv[0], hint=f"failed to launch: {exc}"
-            ) from exc
-        try:
-            stdout, stderr = proc.communicate(timeout=time_limit)
-        except subprocess.TimeoutExpired:
-            self._kill(proc)
+        last_failure = ""
+        attempts = 0
+        for attempt in range(LAUNCH_RETRIES + 1):
+            if attempt:
+                time.sleep(LAUNCH_BACKOFF * 2 ** (attempt - 1))
+            attempts = attempt + 1
             try:
-                stdout, stderr = proc.communicate(timeout=5)
-            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
-                stdout, stderr = "", ""
-            return None, stdout or "", stderr or ""
-        return proc.returncode, stdout or "", stderr or ""
+                proc = subprocess.Popen(
+                    argv,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                    **popen_kwargs,  # type: ignore[arg-type]
+                )
+            except OSError as exc:
+                if exc.errno not in _TRANSIENT_LAUNCH_ERRNOS:
+                    raise BackendUnavailableError(
+                        binary=argv[0], hint=f"failed to launch: {exc}"
+                    ) from exc
+                last_failure = f"failed to launch: {exc}"
+                continue
+            try:
+                stdout, stderr = proc.communicate(timeout=time_limit)
+            except subprocess.TimeoutExpired:
+                self._kill(proc)
+                try:
+                    stdout, stderr = proc.communicate(timeout=5)
+                except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                    stdout, stderr = "", ""
+                return None, stdout or "", stderr or ""
+            if (
+                proc.returncode is not None
+                and proc.returncode < 0
+                and not self._has_verdict(stdout or "")
+            ):
+                # Killed by a signal before printing any verdict: the
+                # machine, not the formula, ended this run.
+                last_failure = (
+                    f"solver killed by signal {-proc.returncode} "
+                    f"before producing a verdict"
+                )
+                continue
+            return proc.returncode, stdout or "", stderr or ""
+        raise BackendUnavailableError(
+            binary=argv[0],
+            hint=(
+                f"{last_failure} "
+                f"(after {attempts} launch attempt(s) with backoff)"
+            ),
+        )
+
+    @staticmethod
+    def _has_verdict(stdout: str) -> bool:
+        """Whether solver output already contains an ``s ...`` status line."""
+        return any(
+            line.strip().startswith("s ") for line in stdout.splitlines()
+        )
 
     @staticmethod
     def _kill(proc: subprocess.Popen) -> None:

@@ -15,8 +15,10 @@ successful mapping runs on disk:
   is how stale results from an older engine are invalidated wholesale.
 * **Entry** — one ``<key>.json`` file under the cache directory holding the
   achieved II and the full mapping (placements plus register assignment),
-  written atomically (temp file + rename) so concurrent sweep workers can
-  share a directory.
+  written atomically *and durably* (temp file, fsync, rename, directory
+  fsync) so concurrent sweep workers can share a directory and a served
+  entry survives power loss — a resumed sweep treats cache hits as settled
+  work it will never redo.
 * **Recovery** — unreadable or tampered entries are deleted on lookup and
   counted (``corrupted`` / ``invalidated``) rather than raised; a cache can
   never make a mapping run fail, only skip work.
@@ -320,7 +322,16 @@ class MappingCache:
             with handle as stream:
                 json.dump(entry, stream, indent=2)
                 stream.write("\n")
+                # Durability, not just atomicity: flush+fsync the temp file
+                # before the rename (or a crash can promote an empty/partial
+                # file to a valid-looking entry name), then fsync the
+                # directory so the rename itself survives power loss — the
+                # farm's resume path treats served cache entries as settled
+                # work it will never redo.
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(handle.name, path)
+            self._fsync_directory()
         except OSError:  # pragma: no cover - disk-full style failures
             try:
                 os.unlink(handle.name)
@@ -331,6 +342,25 @@ class MappingCache:
         self.sweep_stale_temps()
         self._enforce_budget(keep=path)
         return path
+
+    def _fsync_directory(self) -> None:
+        """Flush the directory entry of a just-renamed file to disk.
+
+        ``os.replace`` is atomic against concurrent readers but not against
+        power loss until the containing directory is fsynced.  Best-effort:
+        filesystems that refuse directory fds (or fsync on them) keep the
+        old, rename-only guarantee.
+        """
+        try:
+            fd = os.open(self.cache_dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
 
     def sweep_stale_temps(self, now: float | None = None) -> int:
         """Delete crash-orphaned atomic-write temp files; return the count.

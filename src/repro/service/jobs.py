@@ -124,6 +124,9 @@ class Job:
     finished_at: float | None = None
     result: dict | None = None
     error: str | None = None
+    #: Structured failure detail (e.g. a ``worker_crashed`` record with
+    #: the exit code and signal); ``None`` for ordinary error strings.
+    failure: dict | None = None
     #: How many requests this job served (1 + dedup joiners).
     requests: int = 1
     #: Set from any thread to ask the solve loop to reap the worker.
@@ -153,6 +156,8 @@ class Job:
             payload["result"] = self.result
         if self.error is not None:
             payload["error"] = self.error
+        if self.failure is not None:
+            payload["failure"] = self.failure
         return payload
 
 
@@ -169,6 +174,9 @@ class ServiceStats:
     failed: int = 0
     cancelled: int = 0
     rejected: int = 0
+    #: Jobs that failed because the worker process died without a verdict
+    #: (nonzero exit or signal) — a subset of ``failed``.
+    worker_crashes: int = 0
     #: Persistent-cache counters folded in from every finished solve.
     cache: dict = field(default_factory=lambda: {
         "hits": 0, "misses": 0, "writes": 0, "invalidated": 0,
@@ -189,14 +197,49 @@ class ServiceStats:
         return self.cache["hits"] / looked_up
 
 
+def _crash_detail(exitcode: int | None) -> dict:
+    """Structured ``worker_crashed`` record from a worker's exit code.
+
+    A negative multiprocessing exit code means death by signal; the signal
+    number (and name, when the platform knows it) is reported separately
+    from a plain nonzero exit so an operator can tell an OOM kill
+    (SIGKILL) from a solver abort at a glance.
+    """
+    detail: dict[str, Any] = {
+        "kind": "worker_crashed",
+        "exit_code": exitcode,
+        "signal": None,
+        "signal_name": None,
+    }
+    if exitcode is not None and exitcode < 0:
+        signum = -exitcode
+        detail["exit_code"] = None
+        detail["signal"] = signum
+        try:
+            detail["signal_name"] = signal.Signals(signum).name
+        except ValueError:
+            pass
+    return detail
+
+
+def _crash_message(detail: dict) -> str:
+    if detail.get("signal") is not None:
+        name = detail.get("signal_name") or f"signal {detail['signal']}"
+        return f"mapping worker died unexpectedly (killed by {name})"
+    return (
+        f"mapping worker died unexpectedly "
+        f"(exit code {detail.get('exit_code')})"
+    )
+
+
 def _solve_in_process(
     ctx, job: Job, dfg, cgra, config: MapperConfig, budget: float,
 ) -> tuple[str, Any]:
     """Run the worker process and babysit it (thread context).
 
     Returns ``("ok", payload)`` / ``("error", message)`` /
-    ``("cancelled", None)``.  Guarantees the worker is dead on return,
-    whatever happened.
+    ``("crashed", detail)`` / ``("cancelled", None)``.  Guarantees the
+    worker is dead on return, whatever happened.
     """
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
@@ -235,11 +278,10 @@ def _solve_in_process(
                         message = None
                 break
         if message is None:
-            return (
-                "error",
-                f"mapping worker died unexpectedly "
-                f"(exit code {process.exitcode})",
-            )
+            # Join first: a worker whose pipe EOFed may not be reaped yet,
+            # and an unreaped child reads back as ``exitcode is None``.
+            process.join(timeout=2.0)
+            return ("crashed", _crash_detail(process.exitcode))
         return message
     finally:
         try:
@@ -374,6 +416,12 @@ class JobManager:
             elif verdict == "cancelled":
                 job.status = CANCELLED
                 self.stats.cancelled += 1
+            elif verdict == "crashed":
+                job.failure = payload
+                job.error = _crash_message(payload)
+                job.status = FAILED
+                self.stats.failed += 1
+                self.stats.worker_crashes += 1
             else:
                 job.error = payload
                 job.status = FAILED
@@ -444,6 +492,7 @@ class JobManager:
                 "solves_started": stats.solves_started,
                 "completed": stats.completed,
                 "failed": stats.failed,
+                "worker_crashes": stats.worker_crashes,
                 "cancelled": stats.cancelled,
             },
             "cache": {

@@ -1,0 +1,110 @@
+"""Fault-plan parsing and the determinism of every injected fault."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.farm.faults import CHAOS_ENV, FaultPlan, corrupt_newest_entry
+from repro.sat.backend import BackendUnavailableError
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "kill-after=2,wedge-after=5,backend-rate=0.25,"
+            "backend-attempts=3,corrupt-cache-after=4,seed=7,target-worker=1"
+        )
+        assert plan == FaultPlan(
+            kill_worker_after=2,
+            wedge_worker_after=5,
+            backend_fail_rate=0.25,
+            backend_fail_attempts=3,
+            corrupt_cache_after=4,
+            seed=7,
+            target_worker=1,
+        )
+        assert plan.active
+
+    def test_empty_and_whitespace_parts(self):
+        assert FaultPlan.from_spec("") == FaultPlan()
+        assert FaultPlan.from_spec(" kill-after=1 , ") == FaultPlan(
+            kill_worker_after=1
+        )
+        assert not FaultPlan().active
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown chaos knob"):
+            FaultPlan.from_spec("explode=1")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="needs a number"):
+            FaultPlan.from_spec("kill-after=soon")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({CHAOS_ENV: "  "}) is None
+        plan = FaultPlan.from_env({CHAOS_ENV: "backend-rate=1.0"})
+        assert plan is not None and plan.backend_fail_rate == 1.0
+
+
+class TestBackendCoin:
+    def test_deterministic_per_item(self):
+        plan = FaultPlan(backend_fail_rate=0.5, backend_fail_attempts=2, seed=3)
+        for item in ("a", "b", "c"):
+            first = plan.should_fail_backend(item, 0)
+            assert plan.should_fail_backend(item, 0) == first
+            assert plan.should_fail_backend(item, 1) == first
+
+    def test_attempts_beyond_the_doomed_window_succeed(self):
+        # Convergence guarantee: with max_retries >= backend_fail_attempts
+        # every item eventually passes, so the chaos invariant can demand a
+        # complete, identical sweep.
+        plan = FaultPlan(backend_fail_rate=1.0, backend_fail_attempts=2)
+        assert plan.should_fail_backend("x", 0)
+        assert plan.should_fail_backend("x", 1)
+        assert not plan.should_fail_backend("x", 2)
+
+    def test_rate_bounds(self):
+        never = FaultPlan(backend_fail_rate=0.0)
+        always = FaultPlan(backend_fail_rate=1.0)
+        items = [f"item-{i}" for i in range(64)]
+        assert not any(never.should_fail_backend(i, 0) for i in items)
+        assert all(always.should_fail_backend(i, 0) for i in items)
+
+    def test_rate_selects_roughly_that_fraction(self):
+        plan = FaultPlan(backend_fail_rate=0.5, seed=1)
+        items = [f"item-{i}" for i in range(400)]
+        doomed = sum(plan.should_fail_backend(i, 0) for i in items)
+        assert 120 < doomed < 280
+
+    def test_check_backend_raises_with_attempt_context(self):
+        plan = FaultPlan(backend_fail_rate=1.0, backend_fail_attempts=1)
+        with pytest.raises(BackendUnavailableError, match="injected backend"):
+            plan.check_backend("item", 0)
+        plan.check_backend("item", 1)  # past the doomed window: no raise
+
+    def test_targeting_other_worker_is_inert(self):
+        plan = FaultPlan(kill_worker_after=0, target_worker=7)
+        # Would SIGKILL this test process if the target check failed.
+        plan.on_item_received(worker=0, items_received=1)
+        plan.on_item_received(worker=1, items_received=99)
+
+
+class TestCacheCorruption:
+    def test_corrupts_newest_entry(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"ii": 3}), encoding="utf-8")
+        new.write_text(json.dumps({"ii": 4}), encoding="utf-8")
+        import os
+        os.utime(old, (1, 1))
+        victim = corrupt_newest_entry(tmp_path)
+        assert victim == new
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(new.read_text(encoding="utf-8"))
+        json.loads(old.read_text(encoding="utf-8"))  # untouched
+
+    def test_empty_cache_is_a_noop(self, tmp_path):
+        assert corrupt_newest_entry(tmp_path) is None

@@ -1,0 +1,113 @@
+"""Crash-resume integration: SIGKILL a journalled sweep mid-run, resume
+it with ``--resume`` semantics, and demand (a) no finished item is ever
+solved twice and (b) the final records equal an uninterrupted run."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentConfig, run_sweep
+
+SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+KERNELS = ("srand", "basicmath")
+SIZES = (3,)
+TIMEOUT = 20.0
+
+
+def _config(cache_dir: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        kernels=KERNELS, sizes=SIZES, timeout=TIMEOUT, cache_dir=cache_dir
+    )
+
+
+def _journal_events(journal_dir: Path) -> list[dict]:
+    path = journal_dir / "journal.jsonl"
+    if not path.exists():
+        return []
+    events = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn final append
+    return events
+
+
+def _done_ids(events: list[dict]) -> list[str]:
+    return [e["id"] for e in events if e.get("type") == "done"]
+
+
+def test_sigkilled_sweep_resumes_without_resolving(tmp_path):
+    journal_dir = tmp_path / "journal"
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        sys.executable, "-m", "repro.cli", "sweep",
+        "--kernels", *KERNELS,
+        "--sizes", *[str(s) for s in SIZES],
+        "--timeout", str(int(TIMEOUT)),
+        "--jobs", "2",
+        "--journal", str(journal_dir),
+        "--cache", str(cache_dir),
+    ]
+    # Own session so the whole tree (CLI + farm workers) dies on one kill.
+    proc = subprocess.Popen(
+        argv, env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait until at least one item finished, then SIGKILL mid-sweep.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if _done_ids(_journal_events(journal_dir)):
+                break
+            time.sleep(0.05)
+    finally:
+        if proc.poll() is None:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    events_before = _journal_events(journal_dir)
+    done_before = _done_ids(events_before)
+    assert done_before, "sweep finished or died before any item completed"
+    interrupted = len(done_before) < 2 * len(KERNELS) * len(SIZES)
+
+    resumed = run_sweep(
+        _config(str(cache_dir)), jobs=2,
+        journal_dir=str(journal_dir), resume=True,
+    )
+
+    # Journal-skip counters: everything finished pre-kill was served from
+    # the journal; nothing was solved twice (each id has at most one
+    # ``done`` event across both runs).
+    assert resumed.farm is not None and resumed.farm.resumed
+    assert resumed.farm.skipped == len(done_before)
+    done_after = _done_ids(_journal_events(journal_dir))
+    assert sorted(set(done_after)) == sorted(done_after)
+    assert set(done_before) <= set(done_after)
+    resumed_records = [r for r in resumed.records if r.resumed]
+    assert len(resumed_records) == len(done_before)
+    if interrupted:
+        assert resumed.farm.completed > 0  # the resume did real work
+
+    # The resumed sweep's final report equals an uninterrupted run.
+    reference = run_sweep(_config(str(cache_dir)))
+    assert [
+        (r.kernel, r.size, r.mapper, r.scenario, r.status, r.ii)
+        for r in resumed.records
+    ] == [
+        (r.kernel, r.size, r.mapper, r.scenario, r.status, r.ii)
+        for r in reference.records
+    ]

@@ -437,3 +437,121 @@ def test_mapper_proof_digests_with_internal_backend(tmp_path):
     assert outcome.proof_path is not None
     traces = list(tmp_path.glob("*.drat"))
     assert traces, "cdcl proof trace should land in --dimacs-dir"
+
+
+# ---------------------------------------------------------------------------
+# Transient launch failures: bounded retry before BackendUnavailableError
+# ---------------------------------------------------------------------------
+
+class TestLaunchRetry:
+    """ENOMEM/EAGAIN forks and signal-killed solvers are machine trouble,
+    not formula trouble: ``_run`` retries them with bounded backoff and
+    only then raises :class:`BackendUnavailableError`, reporting how many
+    attempts it burned."""
+
+    @staticmethod
+    def _backend() -> SubprocessBackend:
+        backend = SubprocessBackend(resolve_spec(BUNDLED_BACKEND))
+        backend.add_clause([1])
+        return backend
+
+    def test_transient_fork_failure_is_retried(self, monkeypatch):
+        import errno
+
+        import repro.sat.external as external
+
+        monkeypatch.setattr(external, "LAUNCH_BACKOFF", 0.0)
+        real_popen = subprocess.Popen
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError(errno.EAGAIN, "Resource temporarily unavailable")
+            return real_popen(*args, **kwargs)
+
+        monkeypatch.setattr(external.subprocess, "Popen", flaky)
+        result = self._backend().solve()
+        assert result.status == "SAT"
+        assert calls["n"] == 3
+
+    def test_exhausted_retries_report_attempt_count(self, monkeypatch):
+        import errno
+
+        import repro.sat.external as external
+
+        monkeypatch.setattr(external, "LAUNCH_BACKOFF", 0.0)
+        calls = {"n": 0}
+
+        def doomed(*args, **kwargs):
+            calls["n"] += 1
+            raise OSError(errno.ENOMEM, "Cannot allocate memory")
+
+        monkeypatch.setattr(external.subprocess, "Popen", doomed)
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            self._backend().solve()
+        assert calls["n"] == external.LAUNCH_RETRIES + 1
+        message = str(excinfo.value)
+        assert f"{external.LAUNCH_RETRIES + 1} launch attempt" in message
+        assert "Cannot allocate memory" in message
+
+    def test_permanent_launch_failure_fails_fast(self, monkeypatch):
+        import errno
+
+        import repro.sat.external as external
+
+        calls = {"n": 0}
+
+        def missing(*args, **kwargs):
+            calls["n"] += 1
+            raise OSError(errno.ENOENT, "No such file or directory")
+
+        monkeypatch.setattr(external.subprocess, "Popen", missing)
+        with pytest.raises(BackendUnavailableError, match="failed to launch"):
+            self._backend().solve()
+        assert calls["n"] == 1  # no retry can conjure a missing binary
+
+    @staticmethod
+    def _flaky_solver_script(tmp_path: Path, always_die: bool = False) -> Path:
+        """A competition-interface solver that SIGKILLs itself on its first
+        run (or every run), then answers SAT."""
+        marker = tmp_path / "died-once"
+        script = tmp_path / "flaky-solver.sh"
+        die = "kill -9 $$" if always_die else (
+            f'if [ ! -e "{marker}" ]; then touch "{marker}"; kill -9 $$; fi'
+        )
+        script.write_text(
+            "#!/bin/sh\n"
+            f"{die}\n"
+            'echo "s SATISFIABLE"\n'
+            'echo "v 1 0"\n'
+            "exit 10\n"
+        )
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        return script
+
+    def test_solver_killed_by_signal_is_retried(self, tmp_path, monkeypatch):
+        import repro.sat.external as external
+
+        monkeypatch.setattr(external, "LAUNCH_BACKOFF", 0.0)
+        script = self._flaky_solver_script(tmp_path)
+        backend = SubprocessBackend(resolve_spec(f"external:{script}"))
+        backend.add_clause([1])
+        result = backend.solve()
+        assert result.status == "SAT"
+        assert (tmp_path / "died-once").exists()
+
+    def test_solver_dying_every_time_exhausts_to_unavailable(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sat.external as external
+
+        monkeypatch.setattr(external, "LAUNCH_BACKOFF", 0.0)
+        script = self._flaky_solver_script(tmp_path, always_die=True)
+        backend = SubprocessBackend(resolve_spec(f"external:{script}"))
+        backend.add_clause([1])
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            backend.solve()
+        message = str(excinfo.value)
+        assert "killed by signal 9" in message
+        assert "launch attempt" in message

@@ -350,3 +350,63 @@ class TestNamespaces:
         assert list((tmp_path / "team-b").glob("*.json"))
         again = _map("srand", tmp_path, cache_namespace="team-a")
         assert again.cache_hit
+
+
+class TestDurability:
+    """The farm's resume path treats served cache entries as settled work,
+    so a store must survive power loss: fsync the temp file before the
+    rename, then fsync the directory that the rename mutated."""
+
+    def test_store_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        import os
+        import stat as stat_module
+
+        synced_modes = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced_modes.append(stat_module.S_IFMT(os.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        result = _map("srand", tmp_path)
+        assert result.success and result.cache_stats.writes == 1
+        assert stat_module.S_IFREG in synced_modes  # the temp entry file
+        assert stat_module.S_IFDIR in synced_modes  # the cache directory
+
+    def test_concurrent_readers_of_a_corrupted_entry(self, tmp_path):
+        import threading
+
+        _map("srand", tmp_path)
+        [entry_path] = tmp_path.glob("*.json")
+        key = entry_path.stem
+        entry_path.write_text('{"schema": "satmapit-mapcache/1", "trunc')
+
+        # Each reader holds its own handle, like farm workers do.  All of
+        # them must shrug the bad entry off as a miss — no exception, no
+        # served garbage — and at least one must count the corruption.
+        caches = [MappingCache(tmp_path) for _ in range(8)]
+        results: list = []
+        errors: list = []
+        barrier = threading.Barrier(len(caches))
+
+        def read(cache):
+            barrier.wait()
+            try:
+                results.append(cache.lookup_key(key))
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=read, args=(cache,)) for cache in caches
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert results == [None] * len(caches)
+        assert not entry_path.exists()  # the bad entry was reaped
+        assert sum(cache.stats.corrupted for cache in caches) >= 1
+        assert sum(cache.stats.misses for cache in caches) == len(caches)

@@ -284,3 +284,64 @@ class TestStats:
         payload = manager.stats_payload()
         assert not stale.exists()
         assert payload["cache"]["temp_files_swept"] == 1
+
+
+def _exiting_worker(conn, dfg, cgra, config):
+    import os
+    os._exit(3)  # dies without ever writing a verdict to the pipe
+
+
+def _self_killing_worker(conn, dfg, cgra, config):
+    import os
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestWorkerCrash:
+    """A worker that dies without a verdict is not a mapping failure — it
+    is machine trouble, and the job must say so in a structured way."""
+
+    def _crash(self, monkeypatch, worker):
+        monkeypatch.setattr(jobs_module, "_job_worker", worker)
+
+        async def scenario():
+            manager = _fork_manager(pool_size=1)
+            job, _ = manager.submit(request())
+            await job.done_event.wait()
+            return manager, job
+
+        return run(scenario())
+
+    def test_exit_code_death_is_structured(self, monkeypatch):
+        manager, job = self._crash(monkeypatch, _exiting_worker)
+        assert job.status == FAILED
+        assert job.failure == {
+            "kind": "worker_crashed",
+            "exit_code": 3,
+            "signal": None,
+            "signal_name": None,
+        }
+        assert job.error == "mapping worker died unexpectedly (exit code 3)"
+        assert manager.stats.worker_crashes == 1
+        assert manager.stats.failed == 1
+
+    def test_signal_death_is_structured(self, monkeypatch):
+        manager, job = self._crash(monkeypatch, _self_killing_worker)
+        assert job.status == FAILED
+        assert job.failure == {
+            "kind": "worker_crashed",
+            "exit_code": None,
+            "signal": int(signal.SIGKILL),
+            "signal_name": "SIGKILL",
+        }
+        assert job.error == (
+            "mapping worker died unexpectedly (killed by SIGKILL)"
+        )
+        assert manager.stats.worker_crashes == 1
+
+    def test_crash_detail_reaches_payload_and_stats(self, monkeypatch):
+        manager, job = self._crash(monkeypatch, _self_killing_worker)
+        payload = job.to_payload()
+        assert payload["failure"]["kind"] == "worker_crashed"
+        assert payload["failure"]["signal_name"] == "SIGKILL"
+        stats = manager.stats_payload()
+        assert stats["requests"]["worker_crashes"] == 1

@@ -387,7 +387,7 @@ class TestSweepErrorPath:
         import repro.cli as cli_module
         from repro.sat.backend import BackendUnavailableError
 
-        def vanish(config, progress=True, jobs=1):
+        def vanish(config, progress=True, jobs=1, **farm_kwargs):
             raise BackendUnavailableError(
                 "external solver 'kissat' disappeared mid-sweep"
             )
@@ -406,7 +406,7 @@ class TestSweepErrorPath:
         import repro.cli as cli_module
         from repro.exceptions import MappingError
 
-        def explode(config, progress=True, jobs=1):
+        def explode(config, progress=True, jobs=1, **farm_kwargs):
             raise MappingError("scenario fabric rejected kernel")
 
         monkeypatch.setattr(cli_module, "run_sweep", explode)
