@@ -33,6 +33,7 @@ from repro.experiments.perf import (
     main as perf_main,
 )
 from repro.experiments.report import write_markdown_report
+from repro.partition.cutter import PARTITION_STRATEGIES
 from repro.experiments.runner import (
     SAT_MAPIT,
     SCENARIOS,
@@ -47,7 +48,12 @@ from repro.experiments.tables import (
     render_scenario_comparison,
 )
 from repro.frontend import compile_loop
-from repro.kernels import all_kernel_names, get_kernel, get_kernel_spec
+from repro.kernels import (
+    all_kernel_names,
+    get_kernel,
+    get_kernel_spec,
+    scale_kernel_names,
+)
 from repro.sat.backend import (
     BackendUnavailableError,
     available_backends,
@@ -148,6 +154,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     )
     if args.portfolio_variants:
         config_fields["portfolio_variants"] = tuple(args.portfolio_variants)
+    if args.partition:
+        return _cmd_map_partition(args, dfg, cgra, config_fields)
     mapper = SatMapItMapper(MapperConfig(**config_fields))
     profiler = None
     if args.profile:
@@ -239,6 +247,64 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if outcome.mapping is not None:
         print()
         print(render_mapping_report(outcome.mapping, outcome.register_allocation))
+        if args.save_mapping:
+            with open(args.save_mapping, "w", encoding="utf-8") as stream:
+                stream.write(outcome.mapping.to_json())
+                stream.write("\n")
+            print(f"\nmapping saved to {args.save_mapping}")
+        return 0
+    return 1
+
+
+def _cmd_map_partition(
+    args: argparse.Namespace, dfg, cgra: CGRA, config_fields: dict
+) -> int:
+    """The ``map --partition`` path: cut, solve per region, stitch.
+
+    Shares the solver-facing flags with the monolithic path (the
+    ``config_fields`` template parameterises every per-partition sub-solve)
+    and adds the partition summary lines to the output.
+    """
+    from repro.partition import PartitionConfig, PartitionMapper
+
+    # The whole-run wall budget belongs to the partition driver, which
+    # hands each sub-solve the time remaining.
+    timeout = config_fields.pop("timeout", None)
+    config = PartitionConfig(
+        num_partitions=args.partitions,
+        strategy=args.partition_strategy,
+        pin_borders=not args.no_pin_borders,
+        timeout=timeout,
+        base=MapperConfig(**config_fields),
+    )
+    try:
+        outcome = PartitionMapper(config).map(dfg, cgra)
+    except (MappingError, BackendUnavailableError) as exc:
+        # E.g. more partitions than recurrence-respecting supernodes or
+        # fabric rows, a torus fabric, or a lost external solver binary.
+        return _cli_error(exc)
+    assert outcome.plan is not None
+    print(f"partition plan: {outcome.plan.summary()}")
+    for region in outcome.regions:
+        members = outcome.plan.partitions[region.partition]
+        print(f"  region {region.partition}: rows {region.row_start}-"
+              f"{region.row_end - 1} ({region.num_pes} PEs, "
+              f"{len(members)} nodes)")
+    if outcome.border_relaxed:
+        relaxed = ", ".join(str(p) for p in outcome.border_relaxed)
+        print(f"  border pins relaxed for partition(s): {relaxed}")
+    for entry in outcome.repair_log:
+        print(f"  repair: {entry}")
+    print(outcome.summary())
+    if outcome.mapping is not None:
+        assert outcome.stitch is not None
+        offsets = ", ".join(str(off) for off in outcome.stitch.offsets)
+        print(f"stitch: offsets [{offsets}], "
+              f"{outcome.stitch.num_route_nodes} route node(s), "
+              f"{outcome.stitch.repair_rounds} offset-relaxation round(s)")
+        print()
+        print(render_mapping_report(outcome.mapping,
+                                    outcome.register_allocation))
         if args.save_mapping:
             with open(args.save_mapping, "w", encoding="utf-8") as stream:
                 stream.write(outcome.mapping.to_json())
@@ -346,6 +412,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "--out", args.out, "--max-slowdown", str(args.max_slowdown)]
     if args.baseline:
         argv += ["--baseline", args.baseline]
+    if args.scale:
+        argv += ["--scale"]
     return perf_main(argv)
 
 
@@ -390,6 +458,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the full ``satmapit`` argument parser (all sub-commands)."""
     parser = argparse.ArgumentParser(
         prog="satmapit",
         description="SAT-MapIt: SAT-based modulo scheduling mapper for CGRAs",
@@ -397,7 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     map_cmd = sub.add_parser("map", help="map one kernel onto a CGRA")
-    map_cmd.add_argument("--kernel", choices=all_kernel_names(), help="benchmark kernel")
+    map_cmd.add_argument("--kernel",
+                         choices=all_kernel_names() + scale_kernel_names(),
+                         help="benchmark kernel (paper suite plus the "
+                              "big-fabric scale kernels)")
     map_cmd.add_argument("--source", help="path to a loop-kernel source file")
     map_cmd.add_argument("--rows", type=int, default=4)
     map_cmd.add_argument("--cols", type=int, default=4)
@@ -479,6 +551,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "records per-lane win/loss/wall statistics "
                               "keyed by (kernel shape, fabric) and consults "
                               "them to pick its line-up on later runs")
+    map_cmd.add_argument("--partition", action="store_true",
+                         help="partition-and-stitch mode for big fabrics: "
+                              "cut the DFG into balanced partitions "
+                              "(recurrence cycles intact), map each onto "
+                              "its own row strip of the fabric as an "
+                              "independent SAT problem, then stitch with "
+                              "routed cut edges and validate end to end")
+    map_cmd.add_argument("--partitions", type=int, default=2, metavar="N",
+                         help="number of partitions / fabric regions for "
+                              "--partition (default: 2)")
+    map_cmd.add_argument("--partition-strategy",
+                         choices=list(PARTITION_STRATEGIES), default="topo",
+                         help="edge-cut heuristic for --partition: 'topo' "
+                              "packs a topological order of the recurrence "
+                              "condensation into balanced chunks, 'refine' "
+                              "adds a cut-reducing boundary pass "
+                              "(default: topo)")
+    map_cmd.add_argument("--no-pin-borders", action="store_true",
+                         help="with --partition: do not pin cut-edge "
+                              "endpoints to region border rows (longer "
+                              "routes, but more placement freedom per "
+                              "partition)")
     map_cmd.add_argument("--profile", action="store_true",
                          help="run under cProfile and print the top "
                               "cumulative functions after the mapping")
@@ -583,6 +677,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--baseline", metavar="FILE",
                            help="compare against a previous BENCH_solver.json "
                                 "and fail on gross slowdown or II mismatch")
+    bench_cmd.add_argument("--scale", action="store_true",
+                           help="also run the partition-vs-exact "
+                                "scalability panel (minutes-scale)")
     bench_cmd.add_argument("--max-slowdown", type=float, default=3.0,
                            help="per-case wall-time ratio failing the "
                                 "--baseline gate (default: 3.0)")
@@ -621,7 +718,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.set_defaults(func=_cmd_serve)
 
     show_cmd = sub.add_parser("show", help="inspect a kernel DFG and its schedules")
-    show_cmd.add_argument("--kernel", choices=all_kernel_names())
+    show_cmd.add_argument("--kernel",
+                          choices=all_kernel_names() + scale_kernel_names())
     show_cmd.add_argument("--source", help="path to a loop-kernel source file")
     show_cmd.add_argument("--sizes", nargs="+", type=int, default=[2, 3, 4, 5])
     show_cmd.add_argument("--ii", type=int, help="also print the KMS for this II")
@@ -630,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: parse ``argv`` and dispatch to the sub-command."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

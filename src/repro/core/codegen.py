@@ -50,6 +50,7 @@ class StageSchedule:
 
     @property
     def num_instructions(self) -> int:
+        """Number of occupied instruction slots in the stage."""
         return sum(1 for row in self.rows for slot in row if slot is not None)
 
     def render(self) -> str:
@@ -74,10 +75,12 @@ class CGRAProgram:
 
     @property
     def ii(self) -> int:
+        """Initiation interval of the underlying mapping."""
         return self.mapping.ii
 
     @property
     def stages(self) -> tuple[StageSchedule, StageSchedule, StageSchedule]:
+        """The program's (prologue, kernel, epilogue) triple."""
         return (self.prologue, self.kernel, self.epilogue)
 
     def total_cycles(self, num_iterations: int) -> int:
@@ -101,6 +104,7 @@ class CGRAProgram:
         )
 
     def render(self) -> str:
+        """ASCII rendering of all three stages."""
         return "\n\n".join(stage.render() for stage in self.stages)
 
 

@@ -127,6 +127,15 @@ class MapperConfig:
     max_iteration_span: int | None = None
     enforce_output_register: bool = False
     symmetry_breaking: bool = True
+    #: Per-node placement-domain restriction forwarded to the encoder (see
+    #: :class:`repro.core.encoder.EncoderConfig.placement_domains`):
+    #: ``((node_id, (pe, ...)), ...)`` confines the listed nodes to the
+    #: given PE indices.  This is how partition-and-stitch sub-solves pin a
+    #: partition's nodes to a fabric region and cut-edge endpoints to its
+    #: border rows.  Part of the cache key (a domain-restricted problem is a
+    #: different problem); disables symmetry breaking inside the encoder and
+    #: the heuristic seeding pre-pass (neither is domain-aware).
+    placement_domains: tuple[tuple[int, tuple[int, ...]], ...] | None = None
     neighbour_register_file_access: bool = True
     run_register_allocation: bool = True
     solver_conflict_limit: int | None = None
@@ -486,7 +495,9 @@ class SatMapItMapper:
                 return outcome
 
         seed = None
-        if config.seed_heuristic:
+        # The heuristic mappers know nothing about placement domains; a seed
+        # mapping could violate them, so domain-restricted runs stay unseeded.
+        if config.seed_heuristic and not config.placement_domains:
             from repro.search.seed import run_seed
 
             seed_start = time.perf_counter()
@@ -581,6 +592,7 @@ class SatMapItMapper:
                     max_iteration_span=config.max_iteration_span,
                     enforce_output_register=config.enforce_output_register,
                     symmetry_breaking=config.symmetry_breaking,
+                    placement_domains=config.placement_domains,
                 )
                 if backend is not None:
                     # Incremental path: emit into the persistent backend,

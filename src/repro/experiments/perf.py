@@ -159,6 +159,38 @@ FARM_JOBS = 2
 MIN_GATE_WALL_S = 0.05
 
 
+@dataclass(frozen=True)
+class ScaleCase:
+    """One partition-vs-exact scalability panel entry.
+
+    The partitioned side runs :class:`repro.partition.PartitionMapper`
+    with ``partitions`` row-strip regions; the exact side runs the
+    monolithic mapper on the same (kernel, fabric) under the same wall
+    budget.  ``ii_gap_vs_exact`` in the record is the stitching tax when
+    the exact mapper finishes, and ``null`` when it cannot — which on the
+    big fabrics is exactly the point.
+    """
+
+    name: str
+    kernel: str
+    size: int
+    partitions: int
+    timeout: float = 240.0
+    exact_timeout: float = 240.0
+
+
+#: The scalability panel: one fabric per size tier.  gsm@4x4 is the
+#: calibration row (the exact mapper finishes, so the II gap is a real
+#: number); sha2@8x8 and sha@16x16 are the instances the monolithic
+#: encoding cannot finish in the budget — there the panel records the
+#: partitioned mapper's absolute II and wall time, simulator-validated.
+SCALE_PANEL: tuple[ScaleCase, ...] = (
+    ScaleCase("gsm@4x4|p2", "gsm", 4, 2, timeout=120.0, exact_timeout=120.0),
+    ScaleCase("sha2@8x8|p2", "sha2", 8, 2, timeout=240.0, exact_timeout=240.0),
+    ScaleCase("sha@16x16|p4", "sha", 16, 4, timeout=240.0, exact_timeout=240.0),
+)
+
+
 def _case_config(case: BenchCase, dfg, cgra: CGRA) -> tuple[MapperConfig, int | None]:
     """Mapper configuration plus forced start II for one case.
 
@@ -349,11 +381,69 @@ def run_farm_case(repeats: int = 1) -> dict:
     return record
 
 
+def run_scale_case(case: ScaleCase) -> dict:
+    """Run one scalability panel entry: partitioned mapper vs exact twin.
+
+    One repeat each — both sides are minutes-scale SAT runs, and the
+    panel is informational (it documents reach, not a regression gate).
+    The partitioned side must pass the cycle-accurate simulator replay
+    for its ``status`` to read ``mapped``.
+    """
+    from repro.partition import PartitionConfig, PartitionMapper
+
+    dfg = get_kernel(case.kernel)
+    cgra = CGRA.square(case.size)
+
+    start = time.perf_counter()
+    part = PartitionMapper(
+        PartitionConfig(num_partitions=case.partitions, timeout=case.timeout)
+    ).map(dfg, cgra)
+    part_wall = time.perf_counter() - start
+
+    exact_config = MapperConfig(
+        timeout=case.exact_timeout,
+        attempt_time_limit=None,  # the monolithic twin gets its whole budget
+        random_seed=BENCH_SEED,
+    )
+    start = time.perf_counter()
+    exact = SatMapItMapper(exact_config).map(dfg, cgra)
+    exact_wall = time.perf_counter() - start
+
+    gap = (
+        part.ii - exact.ii
+        if part.success and exact.success and exact.ii is not None
+        else None
+    )
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "size": case.size,
+        "partitions": case.partitions,
+        "partition": {
+            "status": part.final_status,
+            "ii": part.ii,
+            "minimum_ii": part.minimum_ii,
+            "wall_s": round(part_wall, 2),
+            "ii_rounds": part.ii_rounds,
+            "route_nodes": part.stitch.num_route_nodes if part.stitch else None,
+            "validated": part.validated,
+        },
+        "exact": {
+            "status": exact.final_status,
+            "ii": exact.ii,
+            "wall_s": round(exact_wall, 2),
+            "timeout_s": case.exact_timeout,
+        },
+        "ii_gap_vs_exact": gap,
+    }
+
+
 def run_suite(
     suite: str = "default",
     repeats: int = 3,
     progress: bool = False,
     farm: bool = False,
+    scale: bool = False,
 ) -> dict:
     """Run a pinned suite and return the full benchmark document."""
     try:
@@ -467,6 +557,23 @@ def run_suite(
     instrumented_solve = sum(
         r["solve_s"] for r in records if r["propagations"] is not None
     )
+    scale_panel: list[dict] = []
+    if scale:
+        for scale_case in SCALE_PANEL:
+            record = run_scale_case(scale_case)
+            scale_panel.append(record)
+            if progress:
+                part, exact = record["partition"], record["exact"]
+                gap = record["ii_gap_vs_exact"]
+                print(
+                    f"  {record['name']:22s} "
+                    f"partitioned II={part['ii']} ({part['status']}, "
+                    f"{part['wall_s']:.1f}s) "
+                    f"exact II={exact['ii']} ({exact['status']}, "
+                    f"{exact['wall_s']:.1f}s) "
+                    f"gap={gap if gap is not None else '-'}",
+                    flush=True,
+                )
     return {
         "schema": SCHEMA,
         "suite": suite,
@@ -488,6 +595,10 @@ def run_suite(
             ),
             "kernels_mapped_per_minute": kernels_per_minute,
         },
+        # Partition-vs-exact reach panel (empty unless ``scale=True``):
+        # informational, never gated — wall times here are minutes-scale
+        # SAT runs whose variance would make a ratio gate pure noise.
+        "scale_panel": scale_panel,
     }
 
 
@@ -679,6 +790,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-farm", action="store_true",
                         help="skip the farm throughput probe "
                              f"({FARM_CASE_NAME})")
+    parser.add_argument("--scale", action="store_true",
+                        help="also run the partition-vs-exact scalability "
+                             "panel (minutes-scale; informational, "
+                             "never gated)")
     parser.add_argument("--check-strategies", action="store_true",
                         help="re-run every completing case under the bisect "
                              "and portfolio strategies (and one external "
@@ -708,7 +823,7 @@ def main(argv: list[str] | None = None) -> int:
           f"seed={BENCH_SEED}")
     results = run_suite(
         args.suite, repeats=args.repeats, progress=True,
-        farm=not args.no_farm,
+        farm=not args.no_farm, scale=args.scale,
     )
     totals = results["totals"]
     print(f"totals: wall={totals['wall_s']:.3f}s solve={totals['solve_s']:.3f}s "

@@ -54,9 +54,11 @@ class FarmStats:
     wall_s: float = 0.0
 
     def to_dict(self) -> dict:
+        """Plain-dict view for JSON serialisation."""
         return dataclasses.asdict(self)
 
     def summary(self) -> str:
+        """One-line human summary of the farm run."""
         tags = [
             f"{self.completed}/{self.items} item(s) completed",
             f"{self.skipped} resumed from journal",
@@ -79,6 +81,7 @@ class Lease:
     last_heartbeat: float = field(default=0.0)
 
     def deadline(self, ttl: float) -> float:
+        """When the lease expires if no further heartbeat arrives."""
         return max(self.granted, self.last_heartbeat) + ttl
 
 
@@ -122,12 +125,14 @@ class LeasedWorkQueue:
         self.stats.skipped += 1
 
     def preload_quarantined(self, item_id: str, error: str) -> None:
+        """Mark an item quarantined before the run starts (journal resume)."""
         self._drop_pending(item_id)
         self.quarantined[item_id] = error
         self.failures[item_id] = error
         self.stats.quarantined += 1
 
     def preload_attempts(self, item_id: str, attempts: int) -> None:
+        """Seed an item's attempt count from a resumed journal."""
         self._attempts[item_id] = attempts
         self.stats.retries += attempts
 
@@ -167,6 +172,7 @@ class LeasedWorkQueue:
             lease.last_heartbeat = self.clock() if now is None else now
 
     def lease_of(self, worker: int) -> str | None:
+        """The item a worker currently holds, if any."""
         return self._by_worker.get(worker)
 
     def expired(self, now: float | None = None) -> list[Lease]:
@@ -255,6 +261,7 @@ class LeasedWorkQueue:
 
     @property
     def finished(self) -> bool:
+        """Whether every item is either completed or quarantined."""
         return len(self.results) + len(self.quarantined) >= len(self.items)
 
     def next_ready_in(self, now: float | None = None) -> float | None:

@@ -9,6 +9,8 @@ from repro.exceptions import FrontendError
 
 
 class TokenKind(str, Enum):
+    """Lexical category of one loop-language token."""
+
     IDENT = "ident"
     NUMBER = "number"
     OPERATOR = "operator"
@@ -25,6 +27,8 @@ class TokenKind(str, Enum):
 
 @dataclass(frozen=True)
 class Token:
+    """One token with its source position (for error messages)."""
+
     kind: TokenKind
     text: str
     line: int

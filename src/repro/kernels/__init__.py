@@ -17,6 +17,7 @@ from repro.kernels.suite import (
     all_kernels,
     get_kernel,
     get_kernel_spec,
+    scale_kernel_names,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "get_kernel_spec",
     "random_dfg",
     "random_layered_dfg",
+    "scale_kernel_names",
 ]

@@ -260,6 +260,83 @@ _register(
 
 
 # ----------------------------------------------------------------------
+# Scale kernels (beyond the paper's suite; stress big fabrics)
+# ----------------------------------------------------------------------
+# These are not part of the paper's eleven-kernel evaluation and therefore
+# stay out of ``all_kernel_names()``; the partition-and-stitch scalability
+# panel uses them to pose problems a monolithic encoding cannot finish.
+_register(
+    "conv3x3",
+    "scale",
+    "3x3 convolution tap: nine loads, nine constant-weight multiplies and "
+    "an eight-add reduction tree.",
+    """
+    p0 = img[i] * 1
+    p1 = img[i + 1] * 2
+    p2 = img[i + 2] * 1
+    p3 = img[i + 3] * 2
+    p4 = img[i + 4] * 4
+    p5 = img[i + 5] * 2
+    p6 = img[i + 6] * 1
+    p7 = img[i + 7] * 2
+    p8 = img[i + 8] * 1
+    r0 = p0 + p1
+    r1 = p2 + p3
+    r2 = p4 + p5
+    r3 = p6 + p7
+    s0 = r0 + r1
+    s1 = r2 + r3
+    s2 = s0 + s1
+    s3 = s2 + p8
+    out[i] = s3 >> 4
+    """,
+)
+
+_register(
+    "fir16",
+    "scale",
+    "16-tap FIR filter with accumulator recurrence: sixteen loads, sixteen "
+    "constant-coefficient multiplies, a fifteen-add reduction and a "
+    "loop-carried running sum.",
+    """
+    t0 = x[i] * 3
+    t1 = x[i + 1] * 7
+    t2 = x[i + 2] * 11
+    t3 = x[i + 3] * 17
+    t4 = x[i + 4] * 23
+    t5 = x[i + 5] * 29
+    t6 = x[i + 6] * 37
+    t7 = x[i + 7] * 41
+    t8 = x[i + 8] * 43
+    t9 = x[i + 9] * 47
+    t10 = x[i + 10] * 53
+    t11 = x[i + 11] * 59
+    t12 = x[i + 12] * 61
+    t13 = x[i + 13] * 67
+    t14 = x[i + 14] * 71
+    t15 = x[i + 15] * 73
+    a0 = t0 + t1
+    a1 = t2 + t3
+    a2 = t4 + t5
+    a3 = t6 + t7
+    a4 = t8 + t9
+    a5 = t10 + t11
+    a6 = t12 + t13
+    a7 = t14 + t15
+    b0 = a0 + a1
+    b1 = a2 + a3
+    b2 = a4 + a5
+    b3 = a6 + a7
+    c0 = b0 + b1
+    c1 = b2 + b3
+    tap_sum = c0 + c1
+    acc = acc + tap_sum
+    out[i] = acc
+    """,
+)
+
+
+# ----------------------------------------------------------------------
 # Public accessors
 # ----------------------------------------------------------------------
 def all_kernel_names() -> list[str]:
@@ -271,13 +348,21 @@ def all_kernel_names() -> list[str]:
     return [name for name in order if name in _KERNELS]
 
 
+def scale_kernel_names() -> list[str]:
+    """Names of the extra scale kernels (not part of the paper's suite)."""
+    return sorted(
+        name for name, spec in _KERNELS.items() if spec.suite == "scale"
+    )
+
+
 def get_kernel_spec(name: str) -> KernelSpec:
     """Look up a kernel's specification (source text and provenance)."""
     try:
         return _KERNELS[name]
     except KeyError as exc:
+        available = all_kernel_names() + scale_kernel_names()
         raise KeyError(
-            f"unknown kernel {name!r}; available: {', '.join(all_kernel_names())}"
+            f"unknown kernel {name!r}; available: {', '.join(available)}"
         ) from exc
 
 

@@ -1,0 +1,51 @@
+"""Partition-and-stitch mapping for fabrics too large for one SAT call.
+
+A monolithic encoding of a big kernel on an 8x8 or 16x16 fabric produces a
+formula whose size (placement literals x slots x neighbourhood clauses) puts
+it out of reach of the per-attempt budgets that keep the mapping loop
+responsive.  This package assembles a mapping from *several* SAT problems
+instead of one:
+
+1. :mod:`repro.partition.cutter` min-cuts the DFG into balanced partitions
+   along an edge-cut heuristic, keeping every recurrence cycle (SCC) intact
+   inside one partition so the quotient graph over partitions is acyclic.
+2. :mod:`repro.partition.regions` slices the fabric into contiguous row
+   strips, one spatial region per partition, each with its own sub-CGRA and
+   border rows facing the neighbouring regions.
+3. Each partition is mapped as an independent SAT problem onto its region
+   (via the encoder's placement-domain restriction), with cut-edge endpoints
+   pinned to the region borders facing their counterpart.
+4. :mod:`repro.partition.stitcher` shifts the per-partition schedules so
+   every cut edge has time to travel, threads ROUTE chains through free
+   (PE, cycle) slots across region boundaries, and runs a legality pass —
+   ``Mapping.violations()`` plus the cycle-accurate simulator — over the
+   stitched whole.
+
+:class:`repro.partition.mapper.PartitionMapper` orchestrates the pipeline,
+negotiating a common II across partitions and repairing stitch failures by
+relaxing border pins or bumping the II.
+"""
+
+from repro.partition.cutter import CutEdge, PartitionPlan, partition_dfg
+from repro.partition.mapper import (
+    PartitionConfig,
+    PartitionMapper,
+    PartitionOutcome,
+)
+from repro.partition.regions import Region, boundary_domains, slice_fabric
+from repro.partition.stitcher import StitchError, StitchResult, stitch
+
+__all__ = [
+    "CutEdge",
+    "PartitionPlan",
+    "partition_dfg",
+    "Region",
+    "slice_fabric",
+    "boundary_domains",
+    "StitchError",
+    "StitchResult",
+    "stitch",
+    "PartitionConfig",
+    "PartitionMapper",
+    "PartitionOutcome",
+]

@@ -1,0 +1,325 @@
+"""DFG partitioning: balanced edge-cut with recurrence cycles kept intact.
+
+The partitioner condenses the dependency graph (forward *and* loop-carried
+edges) into its strongly connected components, so every recurrence cycle —
+the structures that pin the RecMII — lives inside exactly one supernode.
+Supernodes are packed into ``k`` consecutive chunks of a topological order,
+which guarantees the quotient graph over partitions is acyclic with every
+cut edge pointing from a lower partition index to a higher one; the stitcher
+relies on that to compute schedule offsets in a single forward pass.
+
+Two strategies are offered: ``"topo"`` stops after the balanced packing,
+``"refine"`` follows it with a Kernighan-Lin-style boundary pass that moves
+supernodes between adjacent partitions whenever that strictly reduces the
+number of cut edges without breaking precedence or the balance tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.dfg.graph import DFG, DFGEdge
+from repro.exceptions import DFGError
+
+#: Recognised partitioning strategies, in CLI-choices order.
+PARTITION_STRATEGIES: tuple[str, ...] = ("topo", "refine")
+
+#: A partition may grow to this multiple of the ideal size during
+#: refinement before a cut-reducing move is rejected for balance.
+BALANCE_TOLERANCE = 1.5
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """A DFG edge whose endpoints land in different partitions."""
+
+    edge: DFGEdge
+    src_partition: int
+    dst_partition: int
+
+    def to_dict(self) -> dict:
+        """Plain-data form for reports and journals."""
+        return {
+            "src": self.edge.src,
+            "dst": self.edge.dst,
+            "distance": self.edge.distance,
+            "src_partition": self.src_partition,
+            "dst_partition": self.dst_partition,
+        }
+
+
+@dataclass
+class PartitionPlan:
+    """The outcome of partitioning one DFG.
+
+    ``partitions[p]`` lists the node ids of partition ``p`` (ascending);
+    ``assignment`` is the inverse map.  ``cut_edges`` carries every edge
+    crossing a partition boundary — all of them point forward
+    (``src_partition < dst_partition``), which :meth:`validate` asserts.
+    """
+
+    dfg_name: str
+    strategy: str
+    partitions: list[list[int]]
+    assignment: dict[int, int]
+    cut_edges: list[CutEdge] = field(default_factory=list)
+    #: Strongly connected components with more than one node (recurrence
+    #: structures the cut must not split), for reporting.
+    num_recurrence_components: int = 0
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the plan."""
+        return len(self.partitions)
+
+    @property
+    def cut_size(self) -> int:
+        """Number of edges crossing a partition boundary."""
+        return len(self.cut_edges)
+
+    @property
+    def balance(self) -> float:
+        """Largest partition size over the ideal (1.0 = perfectly even)."""
+        total = sum(len(part) for part in self.partitions)
+        ideal = total / max(1, len(self.partitions))
+        return max(len(part) for part in self.partitions) / max(ideal, 1e-9)
+
+    def partition_of(self, node_id: int) -> int:
+        """The partition index holding ``node_id``."""
+        return self.assignment[node_id]
+
+    def validate(self, dfg: DFG) -> None:
+        """Check the plan's structural invariants against its DFG.
+
+        Every node appears in exactly one partition, every cut edge points
+        forward in partition index (the acyclic-quotient property), and no
+        recurrence cycle is split across partitions.
+        """
+        seen: set[int] = set()
+        for part in self.partitions:
+            for node_id in part:
+                if node_id in seen:
+                    raise DFGError(f"node {node_id} in two partitions")
+                seen.add(node_id)
+        if seen != set(dfg.node_ids):
+            missing = sorted(set(dfg.node_ids) - seen)
+            raise DFGError(f"plan does not cover nodes {missing}")
+        for cut in self.cut_edges:
+            if cut.src_partition >= cut.dst_partition:
+                raise DFGError(
+                    f"cut edge {cut.edge.src}->{cut.edge.dst} points backwards "
+                    f"({cut.src_partition} -> {cut.dst_partition}); the "
+                    "quotient graph must be acyclic"
+                )
+        for component in _strongly_connected(dfg):
+            owners = {self.assignment[node_id] for node_id in component}
+            if len(owners) > 1:
+                raise DFGError(
+                    f"recurrence component {sorted(component)} split across "
+                    f"partitions {sorted(owners)}"
+                )
+
+    def to_dict(self) -> dict:
+        """Plain-data summary used by the CLI and the bench panel."""
+        return {
+            "dfg": self.dfg_name,
+            "strategy": self.strategy,
+            "partitions": [list(part) for part in self.partitions],
+            "cut_edges": [cut.to_dict() for cut in self.cut_edges],
+            "cut_size": self.cut_size,
+            "balance": round(self.balance, 3),
+            "num_recurrence_components": self.num_recurrence_components,
+        }
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        sizes = "/".join(str(len(part)) for part in self.partitions)
+        return (
+            f"{self.num_partitions} partitions ({sizes} nodes, "
+            f"{self.cut_size} cut edges, balance {self.balance:.2f}, "
+            f"strategy {self.strategy})"
+        )
+
+
+def _strongly_connected(dfg: DFG) -> list[set[int]]:
+    """SCCs of the full dependency graph (back edges included)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.node_ids)
+    graph.add_edges_from((edge.src, edge.dst) for edge in dfg.edges)
+    return [set(component) for component in nx.strongly_connected_components(graph)]
+
+
+def partition_dfg(
+    dfg: DFG, num_partitions: int, strategy: str = "topo"
+) -> PartitionPlan:
+    """Split ``dfg`` into ``num_partitions`` balanced, stitchable partitions.
+
+    Recurrence cycles are kept intact (SCC granularity) and the quotient
+    graph over partitions is acyclic by construction.  ``strategy`` selects
+    the edge-cut heuristic: ``"topo"`` packs a topological order of the SCC
+    condensation into consecutive balanced chunks; ``"refine"`` additionally
+    runs a boundary-refinement pass that trades supernodes between adjacent
+    partitions to shrink the cut.  Raises :class:`DFGError` for an
+    unsatisfiable request (more partitions than SCC supernodes).
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise DFGError(
+            f"unknown partition strategy {strategy!r}; "
+            f"choose from {', '.join(PARTITION_STRATEGIES)}"
+        )
+    if num_partitions < 1:
+        raise DFGError(f"need at least one partition, got {num_partitions}")
+    dfg.validate()
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.node_ids)
+    graph.add_edges_from((edge.src, edge.dst) for edge in dfg.edges)
+    condensation = nx.condensation(graph)
+    supernodes: list[set[int]] = [
+        set(condensation.nodes[scc_id]["members"])
+        for scc_id in nx.topological_sort(condensation)
+    ]
+    if num_partitions > len(supernodes):
+        raise DFGError(
+            f"cannot cut {dfg.name!r} into {num_partitions} partitions: only "
+            f"{len(supernodes)} recurrence-respecting supernodes exist"
+        )
+
+    # Balanced consecutive packing: close a chunk once the cumulative node
+    # count reaches its proportional share, while leaving enough supernodes
+    # for the remaining partitions.
+    total_nodes = dfg.num_nodes
+    owner_of_super: list[int] = []
+    current = 0
+    packed_nodes = 0
+    for index, supernode in enumerate(supernodes):
+        remaining_supers = len(supernodes) - index
+        remaining_parts = num_partitions - current
+        share = total_nodes * (current + 1) / num_partitions
+        if (
+            current < num_partitions - 1
+            and packed_nodes >= share
+            and remaining_supers > remaining_parts - 1
+        ):
+            current += 1
+        # Never strand a later partition without supernodes: partitions
+        # current..k-1 still need one supernode each from the remainder.
+        current = max(current, num_partitions - remaining_supers)
+        owner_of_super.append(current)
+        packed_nodes += len(supernode)
+
+    if strategy == "refine":
+        owner_of_super = _refine(supernodes, owner_of_super, num_partitions, dfg)
+
+    assignment: dict[int, int] = {}
+    for supernode, owner in zip(supernodes, owner_of_super):
+        for node_id in supernode:
+            assignment[node_id] = owner
+    partitions: list[list[int]] = [[] for _ in range(num_partitions)]
+    for node_id in sorted(assignment):
+        partitions[assignment[node_id]].append(node_id)
+
+    cut_edges = [
+        CutEdge(edge, assignment[edge.src], assignment[edge.dst])
+        for edge in dfg.edges
+        if assignment[edge.src] != assignment[edge.dst]
+    ]
+    plan = PartitionPlan(
+        dfg_name=dfg.name,
+        strategy=strategy,
+        partitions=partitions,
+        assignment=assignment,
+        cut_edges=cut_edges,
+        num_recurrence_components=sum(
+            1 for component in supernodes if len(component) > 1
+        ),
+    )
+    plan.validate(dfg)
+    return plan
+
+
+def _refine(
+    supernodes: list[set[int]],
+    owners: list[int],
+    num_partitions: int,
+    dfg: DFG,
+) -> list[int]:
+    """Kernighan-Lin-style boundary pass over the supernode assignment.
+
+    Repeatedly moves one supernode to an adjacent partition when the move
+    strictly reduces the number of cut edges, keeps every partition
+    non-empty and inside the balance tolerance, and preserves precedence
+    (predecessor supernodes stay in partitions <= the target, successors in
+    partitions >= it).  Terminates when a full pass makes no move.
+    """
+    owners = list(owners)
+    node_super: dict[int, int] = {}
+    for index, supernode in enumerate(supernodes):
+        for node_id in supernode:
+            node_super[node_id] = index
+    preds: list[set[int]] = [set() for _ in supernodes]
+    succs: list[set[int]] = [set() for _ in supernodes]
+    inter_edges: list[tuple[int, int]] = []
+    for edge in dfg.edges:
+        a, b = node_super[edge.src], node_super[edge.dst]
+        if a != b:
+            preds[b].add(a)
+            succs[a].add(b)
+            inter_edges.append((a, b))
+
+    total_nodes = sum(len(supernode) for supernode in supernodes)
+    max_size = max(
+        1.0, BALANCE_TOLERANCE * total_nodes / num_partitions
+    )
+    sizes = [0] * num_partitions
+    counts = [0] * num_partitions
+    for index, owner in enumerate(owners):
+        sizes[owner] += len(supernodes[index])
+        counts[owner] += 1
+
+    def cut_delta(index: int, target: int) -> int:
+        """Change in cut size if supernode ``index`` moves to ``target``."""
+        delta = 0
+        for a, b in inter_edges:
+            if a != index and b != index:
+                continue
+            other = owners[b] if a == index else owners[a]
+            before = (owners[index] != other)
+            if a == index:
+                after = (target != other)
+            else:
+                after = (other != target)
+            delta += int(after) - int(before)
+        return delta
+
+    for _ in range(8):  # bounded passes; each strictly improves the cut
+        moved = False
+        for index in range(len(supernodes)):
+            here = owners[index]
+            for target in (here - 1, here + 1):
+                if not 0 <= target < num_partitions:
+                    continue
+                low = max((owners[p] for p in preds[index]), default=0)
+                high = min(
+                    (owners[s] for s in succs[index]), default=num_partitions - 1
+                )
+                if not low <= target <= high:
+                    continue
+                if counts[here] <= 1:
+                    continue
+                if sizes[target] + len(supernodes[index]) > max_size:
+                    continue
+                if cut_delta(index, target) >= 0:
+                    continue
+                sizes[here] -= len(supernodes[index])
+                sizes[target] += len(supernodes[index])
+                counts[here] -= 1
+                counts[target] += 1
+                owners[index] = target
+                moved = True
+                break
+        if not moved:
+            break
+    return owners

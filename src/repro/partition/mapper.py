@@ -1,0 +1,345 @@
+"""Partitioned mapping driver: cut, solve per region, negotiate an II, stitch.
+
+:class:`PartitionMapper` is the partition-and-stitch counterpart of
+:class:`repro.core.mapper.SatMapItMapper`.  One mapping is assembled from
+several SAT problems:
+
+* the DFG is cut into balanced partitions (recurrence cycles intact) and
+  the fabric into matching row strips;
+* the **II negotiation** opens at the largest per-partition minimum II and
+  climbs: at each candidate II every partition is solved *at exactly that
+  II* on its own sub-fabric (a partition that could do better locally is
+  re-solved at the common II — partitions share one kernel clock);
+* each sub-solve pins cut-edge endpoints to its region's border rows; a
+  partition that is UNSAT under the pins is retried unpinned at the same II
+  before the II is bumped (**stitch-repair loop**, stage one);
+* solved partitions are stitched (offsets + ROUTE chains + legality pass);
+  a stitch failure bumps the II and retries (**stage two**) — a larger II
+  means more free kernel slots for routes;
+* the stitched mapping is register-allocated and replayed through the
+  cycle-accurate simulator against the golden model, so a returned mapping
+  is correct end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.capabilities import effective_minimum_ii
+from repro.core.mapper import MapperConfig, MappingOutcome, SatMapItMapper
+from repro.core.mapping import Mapping
+from repro.core.regalloc import RegisterAllocation, allocate_registers
+from repro.dfg.graph import DFG
+from repro.exceptions import ArchitectureError, DFGError, MappingError
+from repro.partition.cutter import PartitionPlan, partition_dfg
+from repro.partition.regions import Region, boundary_domains, slice_fabric
+from repro.partition.stitcher import StitchError, StitchResult, stitch
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Knobs of the partition-and-stitch mapping loop."""
+
+    #: Number of DFG partitions / fabric regions.
+    num_partitions: int = 2
+    #: Edge-cut heuristic (see :data:`repro.partition.cutter.PARTITION_STRATEGIES`).
+    strategy: str = "topo"
+    #: Pin cut-edge endpoints to region border rows.  Pinning bounds route
+    #: lengths (and therefore the stitch offsets); partitions infeasible
+    #: under the pins are automatically retried unpinned.
+    pin_borders: bool = True
+    #: Candidate IIs are tried up to this cap before the run fails.
+    max_ii: int = 50
+    #: Wall-clock budget for the whole partitioned run (``None`` = none).
+    timeout: float | None = None
+    #: Per-(II, slack) attempt budget forwarded to every sub-solve.  A strip
+    #: attempt that exceeds it is treated as inconclusive and the negotiation
+    #: bumps the II instead of burning the whole run budget on one hard
+    #: refutation — the anytime behaviour that makes big fabrics tractable.
+    #: ``None`` disables the cap (a ``base.attempt_time_limit`` still
+    #: applies if set).
+    attempt_time_limit: float | None = 15.0
+    #: Loop iterations replayed through the cycle-accurate simulator for the
+    #: end-to-end validation of the stitched mapping (0 skips validation).
+    validate_iterations: int = 3
+    #: Configuration template for the per-partition SAT sub-solves; the
+    #: driver overrides the II bounds, timeout and placement domains per
+    #: solve and disables heuristic seeding (not domain-aware).
+    base: MapperConfig = field(default_factory=MapperConfig)
+
+
+@dataclass
+class PartitionOutcome:
+    """Overall result of a partitioned mapping run."""
+
+    success: bool
+    dfg_name: str
+    cgra_name: str
+    num_partitions: int
+    ii: int | None = None
+    #: The stitched whole-fabric mapping (its DFG is the *stitched* graph —
+    #: original nodes plus ROUTE chains).
+    mapping: Mapping | None = None
+    register_allocation: RegisterAllocation | None = None
+    plan: PartitionPlan | None = None
+    regions: list[Region] = field(default_factory=list)
+    #: Per-partition sub-solve outcomes of the *accepted* II round.
+    partition_outcomes: list[MappingOutcome] = field(default_factory=list)
+    stitch: StitchResult | None = None
+    #: Partitions whose border pins had to be relaxed at the accepted II.
+    border_relaxed: list[int] = field(default_factory=list)
+    #: Candidate IIs tried (negotiation + repair rounds).
+    ii_rounds: int = 0
+    #: Why the last II round failed, per round (negotiation trace).
+    repair_log: list[str] = field(default_factory=list)
+    minimum_ii: int = 1
+    total_time: float = 0.0
+    timed_out: bool = False
+    #: Whether the stitched mapping was replayed through the simulator
+    #: against the golden model (and passed — a failure raises instead).
+    validated: bool = False
+
+    @property
+    def final_status(self) -> str:
+        """``mapped`` / ``timeout`` / ``failed`` (mirrors MappingOutcome)."""
+        if self.success:
+            return "mapped"
+        if self.timed_out:
+            return "timeout"
+        return "failed"
+
+    def summary(self) -> str:
+        """One-line summary used by the CLI."""
+        if self.success:
+            assert self.stitch is not None
+            checked = ", simulator-validated" if self.validated else ""
+            return (
+                f"{self.dfg_name} on {self.cgra_name}: II={self.ii} via "
+                f"{self.num_partitions} partitions (MII={self.minimum_ii}, "
+                f"{self.ii_rounds} II round(s), "
+                f"{self.stitch.num_route_nodes} route node(s), "
+                f"{self.total_time:.2f}s{checked})"
+            )
+        return (
+            f"{self.dfg_name} on {self.cgra_name}: {self.final_status} after "
+            f"{self.ii_rounds} II round(s) ({self.total_time:.2f}s)"
+        )
+
+
+class PartitionMapper:
+    """Maps a DFG by partitioning it across fabric regions and stitching."""
+
+    name = "SAT-MapIt-partition"
+
+    def __init__(self, config: PartitionConfig | None = None) -> None:
+        self.config = config or PartitionConfig()
+
+    # ------------------------------------------------------------------
+    def map(self, dfg: DFG, cgra: CGRA) -> PartitionOutcome:
+        """Find a common II at which all partitions map, and stitch them.
+
+        Raises :class:`MappingError` for structurally impossible requests
+        (more partitions than recurrence-respecting supernodes or fabric
+        rows, non-mesh topology); budget exhaustion returns a failed
+        outcome instead.
+        """
+        config = self.config
+        start = time.perf_counter()
+        dfg.validate()
+        try:
+            plan = partition_dfg(dfg, config.num_partitions, config.strategy)
+            regions = slice_fabric(cgra, [len(p) for p in plan.partitions])
+        except (ArchitectureError, DFGError) as exc:
+            raise MappingError(str(exc)) from exc
+
+        sub_dfgs = [self._sub_dfg(dfg, plan, p) for p in range(plan.num_partitions)]
+        pin_domains = boundary_domains(plan, regions) if config.pin_borders else [
+            () for _ in regions
+        ]
+
+        outcome = PartitionOutcome(
+            success=False,
+            dfg_name=dfg.name,
+            cgra_name=cgra.name,
+            num_partitions=plan.num_partitions,
+            plan=plan,
+            regions=regions,
+        )
+
+        # Opening bid of the II negotiation: no partition can beat its own
+        # (capability-aware) minimum II, and all share one kernel clock.
+        per_partition_mii = [
+            effective_minimum_ii(sub, region.sub_cgra)
+            for sub, region in zip(sub_dfgs, regions)
+        ]
+        outcome.minimum_ii = max(per_partition_mii)
+
+        ii = outcome.minimum_ii
+        use_pins = config.pin_borders
+        while ii <= config.max_ii:
+            if self._out_of_time(start):
+                outcome.timed_out = True
+                break
+            outcome.ii_rounds += 1
+            partials: list[Mapping] = []
+            round_outcomes: list[MappingOutcome] = []
+            relaxed: list[int] = []
+            failed_reason: str | None = None
+            for p, (sub, region) in enumerate(zip(sub_dfgs, regions)):
+                domains = pin_domains[p] if use_pins else ()
+                sub_outcome = self._solve_partition(sub, region, ii,
+                                                    domains, start)
+                if (
+                    not sub_outcome.success
+                    and domains
+                    and not sub_outcome.timed_out
+                ):
+                    # Repair stage one: the border pins may be what makes
+                    # this II infeasible — retry the same II unpinned.
+                    sub_outcome = self._solve_partition(sub, region, ii, (), start)
+                    if sub_outcome.success:
+                        relaxed.append(p)
+                if not sub_outcome.success:
+                    round_outcomes.append(sub_outcome)
+                    if sub_outcome.timed_out:
+                        outcome.timed_out = True
+                        failed_reason = f"partition {p} timed out at II={ii}"
+                    else:
+                        failed_reason = f"partition {p} infeasible at II={ii}"
+                    break
+                round_outcomes.append(sub_outcome)
+                assert sub_outcome.mapping is not None
+                partials.append(sub_outcome.mapping)
+            if failed_reason is not None:
+                outcome.repair_log.append(failed_reason)
+                if outcome.timed_out:
+                    outcome.partition_outcomes = round_outcomes
+                    break
+                ii, use_pins = ii + 1, config.pin_borders
+                continue
+
+            try:
+                stitched = stitch(dfg, cgra, plan, regions, partials, ii)
+            except StitchError as exc:
+                # Repair stage two: a larger II adds a kernel-cycle row of
+                # free slots everywhere — retry the negotiation there.
+                outcome.repair_log.append(f"stitch failed at II={ii}: {exc}")
+                ii, use_pins = ii + 1, config.pin_borders
+                continue
+
+            allocation = allocate_registers(
+                stitched.mapping.dfg, cgra, stitched.mapping,
+                config.base.neighbour_register_file_access,
+            )
+            if not allocation.success:
+                outcome.repair_log.append(
+                    f"register allocation failed at II={ii}"
+                    f"{' (pinned)' if use_pins else ''}: "
+                    f"{allocation.failure_reason}"
+                )
+                if use_pins:
+                    # Repair stage three: pinning concentrates cut values on
+                    # the few border PEs, whose register files overflow first
+                    # — retry the same II with placements spread across the
+                    # whole strip before paying for a larger II.
+                    use_pins = False
+                else:
+                    ii, use_pins = ii + 1, config.pin_borders
+                continue
+            stitched.mapping.apply_allocation(allocation)
+
+            if config.validate_iterations > 0:
+                self._validate(stitched, allocation, config.validate_iterations)
+                outcome.validated = True
+
+            outcome.success = True
+            outcome.ii = ii
+            outcome.mapping = stitched.mapping
+            outcome.register_allocation = allocation
+            outcome.partition_outcomes = round_outcomes
+            outcome.stitch = stitched
+            outcome.border_relaxed = (
+                relaxed if use_pins else list(range(plan.num_partitions))
+            )
+            break
+
+        outcome.total_time = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _solve_partition(
+        self,
+        sub_dfg: DFG,
+        region: Region,
+        ii: int,
+        domains: tuple[tuple[int, tuple[int, ...]], ...],
+        start: float,
+    ) -> MappingOutcome:
+        """Solve one partition at exactly ``ii`` on its region sub-fabric."""
+        attempt_limit = self.config.base.attempt_time_limit
+        if self.config.attempt_time_limit is not None:
+            attempt_limit = (
+                self.config.attempt_time_limit
+                if attempt_limit is None
+                else min(attempt_limit, self.config.attempt_time_limit)
+            )
+        config = replace(
+            self.config.base,
+            max_ii=ii,
+            timeout=self._remaining_time(start),
+            attempt_time_limit=attempt_limit,
+            placement_domains=domains or None,
+            seed_heuristic=False,
+        )
+        return SatMapItMapper(config).map(sub_dfg, region.sub_cgra, start_ii=ii)
+
+    @staticmethod
+    def _sub_dfg(dfg: DFG, plan: PartitionPlan, partition: int) -> DFG:
+        """The induced sub-DFG of one partition (internal edges only)."""
+        members = set(plan.partitions[partition])
+        sub = DFG(name=f"{dfg.name}/p{partition}")
+        for node in dfg.nodes:
+            if node.node_id in members:
+                sub.add_node(node.node_id, node.opcode, node.name,
+                             node.constant, node.latency)
+        for edge in dfg.edges:
+            if edge.src in members and edge.dst in members:
+                sub.add_edge(edge.src, edge.dst, edge.distance,
+                             edge.operand_index)
+        sub.validate()
+        return sub
+
+    @staticmethod
+    def _validate(
+        stitched: StitchResult,
+        allocation: RegisterAllocation,
+        iterations: int,
+    ) -> None:
+        """Replay the stitched mapping through the cycle-accurate simulator.
+
+        The simulator checks every data transfer against the golden-model
+        interpreter; a failure here means the stitcher's legality pass has a
+        hole, so it raises :class:`StitchError` loudly instead of bumping
+        the II.
+        """
+        from repro.simulator import CGRASimulator
+
+        result = CGRASimulator(stitched.mapping, allocation).run(iterations)
+        if not result.success:
+            raise StitchError(
+                "stitched mapping failed simulator validation: "
+                + "; ".join(result.errors[:5])
+            )
+
+    # ------------------------------------------------------------------
+    def _out_of_time(self, start: float) -> bool:
+        timeout = self.config.timeout
+        return timeout is not None and (time.perf_counter() - start) >= timeout
+
+    def _remaining_time(self, start: float) -> float | None:
+        timeout = self.config.timeout
+        if timeout is None:
+            return None
+        return max(0.01, timeout - (time.perf_counter() - start))

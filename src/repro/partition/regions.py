@@ -1,0 +1,183 @@
+"""Fabric regions: contiguous row strips, one per partition.
+
+A partitioned mapping confines each partition to a spatial *region* of the
+fabric so the per-partition SAT problems are independent (disjoint PE sets)
+and cut values flow between adjacent strips.  Regions are horizontal strips
+of consecutive rows, allocated proportionally to partition sizes; each
+region exposes a *sub-CGRA* (the strip as a standalone fabric, preserving
+the per-PE capability classes) plus the local<->global PE index maps the
+stitcher uses to reassemble the whole.
+
+Border pinning: the first row of a strip faces the previous region, the
+last row faces the next one.  :func:`boundary_domains` turns a
+:class:`~repro.partition.cutter.PartitionPlan` into the per-node
+placement-domain restriction the encoder consumes — cut-edge producers are
+pinned to the border facing the consumer's region and vice versa, which
+bounds the route distance the stitcher must budget into the II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.topology import Topology
+from repro.exceptions import ArchitectureError
+from repro.partition.cutter import PartitionPlan
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous row strip of the fabric, owned by one partition."""
+
+    partition: int
+    row_start: int
+    row_end: int  # exclusive
+    #: Global PE indices of the strip, row-major (== local index order).
+    to_global: tuple[int, ...]
+    #: The strip as a standalone fabric (same cols, capability classes
+    #: preserved), used as the per-partition SAT target.
+    sub_cgra: CGRA
+
+    @property
+    def num_rows(self) -> int:
+        """Rows in the strip."""
+        return self.row_end - self.row_start
+
+    @property
+    def num_pes(self) -> int:
+        """PEs in the strip."""
+        return len(self.to_global)
+
+    def to_local(self, global_pe: int) -> int:
+        """Local (sub-CGRA) index of a global PE inside this strip."""
+        return self._from_global[global_pe]
+
+    @property
+    def _from_global(self) -> dict[int, int]:
+        return {pe: local for local, pe in enumerate(self.to_global)}
+
+    def north_border(self) -> tuple[int, ...]:
+        """Global PEs of the strip's first row (faces the previous region)."""
+        return self.to_global[: self.sub_cgra.cols]
+
+    def south_border(self) -> tuple[int, ...]:
+        """Global PEs of the strip's last row (faces the next region)."""
+        return self.to_global[-self.sub_cgra.cols:]
+
+    def local_row(self, border: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate a tuple of global PE indices into local ones."""
+        table = self._from_global
+        return tuple(table[pe] for pe in border)
+
+
+def slice_fabric(cgra: CGRA, weights: list[int]) -> list[Region]:
+    """Cut ``cgra`` into row strips proportional to ``weights``.
+
+    ``weights[p]`` is the node count of partition ``p``; each strip gets at
+    least one row and the leftover rows go to the largest remainders.  Only
+    the mesh topology is supported — a torus strip would wrap values across
+    the cut, and the sub-CGRA could not model that locally.  Raises
+    :class:`ArchitectureError` when the fabric has fewer rows than regions.
+    """
+    if cgra.topology is not Topology.MESH:
+        raise ArchitectureError(
+            f"partitioned mapping requires a mesh fabric, got "
+            f"{cgra.topology.value!r} (a sliced torus strip would wrap "
+            "values across the region boundary)"
+        )
+    num_regions = len(weights)
+    if num_regions < 1:
+        raise ArchitectureError("need at least one region")
+    if cgra.rows < num_regions:
+        raise ArchitectureError(
+            f"cannot slice {cgra.rows} rows into {num_regions} regions; "
+            "reduce --partitions or use a taller fabric"
+        )
+    total = max(1, sum(weights))
+    # Largest-remainder apportionment with a one-row floor.
+    shares = [max(1.0, cgra.rows * weight / total) for weight in weights]
+    rows = [max(1, int(share)) for share in shares]
+    while sum(rows) > cgra.rows:
+        rows[rows.index(max(rows))] -= 1
+    remainders = sorted(
+        range(num_regions), key=lambda p: shares[p] - rows[p], reverse=True
+    )
+    index = 0
+    while sum(rows) < cgra.rows:
+        rows[remainders[index % num_regions]] += 1
+        index += 1
+
+    regions: list[Region] = []
+    row_start = 0
+    for partition, strip_rows in enumerate(rows):
+        row_end = row_start + strip_rows
+        to_global = tuple(
+            row * cgra.cols + col
+            for row in range(row_start, row_end)
+            for col in range(cgra.cols)
+        )
+        class_map = (
+            tuple(cgra.class_map[pe] for pe in to_global)
+            if cgra.class_map
+            else ()
+        )
+        sub_cgra = CGRA(
+            rows=strip_rows,
+            cols=cgra.cols,
+            registers_per_pe=cgra.registers_per_pe,
+            topology=cgra.topology,
+            pe_classes=cgra.pe_classes,
+            class_map=class_map,
+            name=f"{cgra.name}#r{row_start}-{row_end - 1}",
+        )
+        regions.append(
+            Region(
+                partition=partition,
+                row_start=row_start,
+                row_end=row_end,
+                to_global=to_global,
+                sub_cgra=sub_cgra,
+            )
+        )
+        row_start = row_end
+    return regions
+
+
+def boundary_domains(
+    plan: PartitionPlan, regions: list[Region]
+) -> list[tuple[tuple[int, tuple[int, ...]], ...]]:
+    """Per-partition placement-domain restrictions pinning cut endpoints.
+
+    For each partition, returns the ``placement_domains`` tuple (in *local*
+    sub-CGRA PE indices) confining every node with a cut edge to the border
+    row(s) facing its counterparts: producers sending to a later region sit
+    on the strip's last row, consumers receiving from an earlier region on
+    its first row, and nodes doing both may use either border (never an
+    empty intersection).  Nodes without cut edges are unrestricted within
+    their strip.
+    """
+    needs_south: list[set[int]] = [set() for _ in regions]
+    needs_north: list[set[int]] = [set() for _ in regions]
+    for cut in plan.cut_edges:
+        needs_south[cut.src_partition].add(cut.edge.src)
+        needs_north[cut.dst_partition].add(cut.edge.dst)
+
+    domains: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+    for region in regions:
+        south = set(region.local_row(region.south_border()))
+        north = set(region.local_row(region.north_border()))
+        entries: list[tuple[int, tuple[int, ...]]] = []
+        partition = region.partition
+        for node_id in sorted(needs_south[partition] | needs_north[partition]):
+            wants_south = node_id in needs_south[partition]
+            wants_north = node_id in needs_north[partition]
+            if wants_south and wants_north:
+                allowed = tuple(sorted(north | south))
+            elif wants_south:
+                allowed = tuple(sorted(south))
+            else:
+                allowed = tuple(sorted(north))
+            entries.append((node_id, allowed))
+        domains.append(tuple(entries))
+    return domains

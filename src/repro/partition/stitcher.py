@@ -1,0 +1,427 @@
+"""Stitch per-partition mappings into one legal whole-fabric mapping.
+
+Each partition arrives as an independently solved mapping of its sub-DFG on
+its region's sub-CGRA, all at the same (negotiated) II.  Stitching:
+
+1. **Translate** local PE indices to global ones (regions are disjoint, so
+   translated placements can never collide).
+2. **Offset** every partition's schedule by a flat-time shift so each cut
+   value has time to be produced, travel its route, and arrive before the
+   consumer reads it.  Shifting a whole partition by a constant preserves
+   its internal legality (flat times translate; kernel cycles permute by a
+   bijection), and because the cutter guarantees all cut edges point
+   forward in partition index, offsets are computed in one forward pass.
+3. **Route** each cut edge whose endpoints are not already neighbours:
+   a chain of single-cycle ROUTE nodes is threaded through free (PE,
+   kernel-cycle) slots, found by a time-expanded Dijkstra over (PE, flat
+   time) states.  Values persist in register files, so a hop may wait for
+   a free slot — waiting costs time, not occupancy.  Waiting does cost
+   *registers*, though: a value that sits for many II windows needs one
+   live copy per window, so relay hops are appended until no single chain
+   value spans more than one II — trading free compute slots for register
+   pressure so the downstream allocation stays colourable.
+4. **Rebuild** the DFG: cut edges with routes are replaced by the chain
+   ``src -> r1 -> ... -> rk -> dst`` (loop-carried distance carried by the
+   final hop, so golden-model semantics are exact: each ROUTE forwards its
+   single operand).
+5. **Legality pass**: the stitched mapping must pass
+   :meth:`Mapping.violations` — completeness, capabilities, slot
+   exclusivity, neighbourhood and modulo timing over the *stitched* DFG.
+   Any violation raises :class:`StitchError`; a stitched mapping is never
+   silently accepted.
+
+The simulator replay (golden-model validation) lives one level up in
+:class:`repro.partition.mapper.PartitionMapper`, which also owns the
+repair loop around this module (bump II / relax borders and retry).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cgra.architecture import CGRA
+from repro.core.mapping import Mapping, Placement
+from repro.dfg.graph import DFG, Opcode
+from repro.exceptions import MappingError
+from repro.partition.cutter import PartitionPlan
+from repro.partition.regions import Region
+
+#: Extra flat-time slack rounds the stitcher may grant a partition whose
+#: cut values cannot be routed inside the original offset estimate.
+MAX_OFFSET_ROUNDS = 4
+
+
+class StitchError(MappingError):
+    """A partitioned mapping could not be assembled into a legal whole."""
+
+
+@dataclass
+class StitchResult:
+    """A stitched mapping plus the bookkeeping the caller reports."""
+
+    mapping: Mapping
+    #: Flat-time shift applied to each partition's schedule.
+    offsets: list[int]
+    #: ROUTE nodes inserted per cut edge: ``(src, dst) -> [route node ids]``.
+    route_chains: dict[tuple[int, int], list[int]] = field(default_factory=dict)
+    #: Offset-relaxation rounds the router needed (0 = first estimate held).
+    repair_rounds: int = 0
+
+    @property
+    def num_route_nodes(self) -> int:
+        """Total ROUTE nodes inserted across all cut edges."""
+        return sum(len(chain) for chain in self.route_chains.values())
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        return (
+            f"stitched {len(self.offsets)} partitions: offsets "
+            f"{self.offsets}, {self.num_route_nodes} route node(s), "
+            f"{self.repair_rounds} repair round(s)"
+        )
+
+
+def stitch(
+    dfg: DFG,
+    cgra: CGRA,
+    plan: PartitionPlan,
+    regions: list[Region],
+    partial_mappings: list[Mapping],
+    ii: int,
+) -> StitchResult:
+    """Assemble per-partition mappings into one legal mapping on ``cgra``.
+
+    ``partial_mappings[p]`` maps partition ``p``'s sub-DFG onto
+    ``regions[p].sub_cgra`` at ``ii``.  Returns a :class:`StitchResult`
+    whose mapping covers the *stitched* DFG (original nodes plus ROUTE
+    chains) and passes the full legality check; raises :class:`StitchError`
+    when routing runs out of free slots or the result is illegal.
+    """
+    if len(partial_mappings) != len(regions) or len(regions) != plan.num_partitions:
+        raise StitchError(
+            f"plan/regions/mappings disagree: {plan.num_partitions} partitions, "
+            f"{len(regions)} regions, {len(partial_mappings)} mappings"
+        )
+    for partial in partial_mappings:
+        if partial.ii != ii:
+            raise StitchError(
+                f"partition mapping {partial.dfg.name!r} solved at II="
+                f"{partial.ii}, expected the negotiated II={ii}"
+            )
+
+    # Global placements before offsetting: node -> (global pe, flat time).
+    base_pe: dict[int, int] = {}
+    base_flat: dict[int, int] = {}
+    for region, partial in zip(regions, partial_mappings):
+        for node_id, placement in partial.placements.items():
+            base_pe[node_id] = region.to_global[placement.pe]
+            base_flat[node_id] = placement.flat_time(ii)
+
+    missing = set(dfg.node_ids) - set(base_pe)
+    if missing:
+        raise StitchError(f"partition mappings leave nodes {sorted(missing)} unplaced")
+
+    offsets = _initial_offsets(dfg, cgra, plan, base_pe, base_flat, ii)
+
+    for repair_round in range(MAX_OFFSET_ROUNDS + 1):
+        routed = _route_all(dfg, cgra, plan, base_pe, base_flat, offsets, ii)
+        if isinstance(routed, _RouteShortfall):
+            # A cut value missed its deadline by ``shortfall`` cycles: grant
+            # the destination partition (and everything downstream, via the
+            # forward recompute) that much more slack and re-route from
+            # scratch.
+            if repair_round == MAX_OFFSET_ROUNDS:
+                raise StitchError(
+                    f"cut edge {routed.src}->{routed.dst} unroutable at II="
+                    f"{ii} even after {MAX_OFFSET_ROUNDS} offset-relaxation "
+                    f"rounds (short by {routed.shortfall} cycle(s)); "
+                    "a larger II is needed"
+                )
+            for partition in range(routed.dst_partition, plan.num_partitions):
+                offsets[partition] += routed.shortfall
+            continue
+        routed.repair_rounds = repair_round
+        routed.mapping.dfg.validate()
+        violations = routed.mapping.violations()
+        if violations:
+            raise StitchError(
+                "stitched mapping is illegal: " + "; ".join(violations[:5])
+            )
+        return routed
+    raise StitchError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class _RouteShortfall:
+    """A route that missed its consumer's deadline (retry with more slack)."""
+
+    src: int
+    dst: int
+    dst_partition: int
+    shortfall: int
+
+
+def _initial_offsets(
+    dfg: DFG,
+    cgra: CGRA,
+    plan: PartitionPlan,
+    base_pe: dict[int, int],
+    base_flat: dict[int, int],
+    ii: int,
+) -> list[int]:
+    """First-estimate flat-time shift per partition (forward pass).
+
+    For every cut edge ``u -> v`` the consumer needs
+    ``t_v + d*II >= t_u + latency(u) + hops`` where ``hops`` is the minimum
+    number of ROUTE nodes (``hop_distance - 1``); the destination
+    partition's offset absorbs any deficit.  Cut edges always point to a
+    higher partition index, so one pass in index order suffices.
+    """
+    offsets = [0] * plan.num_partitions
+    by_dst: list[list] = [[] for _ in range(plan.num_partitions)]
+    for cut in plan.cut_edges:
+        by_dst[cut.dst_partition].append(cut)
+    for partition in range(plan.num_partitions):
+        need = 0
+        for cut in by_dst[partition]:
+            edge = cut.edge
+            min_routes = max(0, cgra.distance(base_pe[edge.src], base_pe[edge.dst]) - 1)
+            produced = (
+                base_flat[edge.src]
+                + offsets[cut.src_partition]
+                + dfg.node(edge.src).latency
+                + min_routes
+            )
+            consumed = base_flat[edge.dst] + edge.distance * ii
+            need = max(need, produced - consumed)
+        offsets[partition] = need
+    return offsets
+
+
+def _route_all(
+    dfg: DFG,
+    cgra: CGRA,
+    plan: PartitionPlan,
+    base_pe: dict[int, int],
+    base_flat: dict[int, int],
+    offsets: list[int],
+    ii: int,
+):
+    """Thread ROUTE chains for every cut edge; build the stitched mapping.
+
+    Returns a :class:`StitchResult` on success or a :class:`_RouteShortfall`
+    telling the caller which partition needs more schedule slack.
+    """
+    flat: dict[int, int] = {
+        node_id: base_flat[node_id] + offsets[plan.partition_of(node_id)]
+        for node_id in base_flat
+    }
+    # Kernel-slot occupancy over the whole fabric (original nodes first;
+    # route nodes claim slots as they are placed).
+    occupied: set[tuple[int, int]] = {
+        (base_pe[node_id], flat[node_id] % ii) for node_id in flat
+    }
+
+    stitched = DFG(name=f"{dfg.name}@part{plan.num_partitions}")
+    for node in dfg.nodes:
+        stitched.add_node(node.node_id, node.opcode, node.name, node.constant,
+                          node.latency)
+
+    next_node_id = max(dfg.node_ids, default=-1) + 1
+    route_chains: dict[tuple[int, int], list[int]] = {}
+    route_placements: dict[int, tuple[int, int]] = {}  # node -> (pe, flat t)
+    replaced: set[tuple[int, int, int, int]] = set()
+
+    # Deterministic routing order: nearest deadlines first, ties by ids.
+    cuts = sorted(
+        plan.cut_edges,
+        key=lambda cut: (
+            flat[cut.edge.dst] + cut.edge.distance * ii,
+            cut.edge.src,
+            cut.edge.dst,
+        ),
+    )
+    for cut in cuts:
+        edge = cut.edge
+        src_pe, dst_pe = base_pe[edge.src], base_pe[edge.dst]
+        deadline = flat[edge.dst] + edge.distance * ii
+        ready = flat[edge.src] + dfg.node(edge.src).latency
+        if cgra.distance(src_pe, dst_pe) > 1:
+            path = _find_route(cgra, occupied, src_pe, dst_pe, ready,
+                               deadline, ii)
+            if isinstance(path, int):
+                return _RouteShortfall(
+                    src=edge.src, dst=edge.dst,
+                    dst_partition=cut.dst_partition, shortfall=path,
+                )
+        else:
+            # Endpoints are already neighbours; the value only needs relays
+            # when it would otherwise wait out multiple II windows.
+            path = []
+        # Claim the found hops before relay insertion scans for free slots,
+        # or a relay could land on its own chain's (PE, cycle).
+        occupied.update((pe, t % ii) for pe, t in path)
+        _insert_relays(cgra, occupied, path, src_pe, dst_pe, ready,
+                       deadline, ii)
+        if not path:
+            continue  # the original edge stands
+        replaced.add((edge.src, edge.dst, edge.distance, edge.operand_index))
+        chain: list[int] = []
+        for pe, t in path:
+            occupied.add((pe, t % ii))
+            route_id = next_node_id
+            next_node_id += 1
+            stitched.add_node(
+                route_id, Opcode.ROUTE,
+                name=f"rt{edge.src}_{edge.dst}_{len(chain)}",
+            )
+            route_placements[route_id] = (pe, t)
+            prev = chain[-1] if chain else edge.src
+            stitched.add_edge(prev, route_id, 0, 0)
+            chain.append(route_id)
+        stitched.add_edge(chain[-1], edge.dst, edge.distance, edge.operand_index)
+        route_chains.setdefault((edge.src, edge.dst), []).extend(chain)
+
+    for edge in dfg.edges:
+        key = (edge.src, edge.dst, edge.distance, edge.operand_index)
+        if key not in replaced:
+            stitched.add_edge(edge.src, edge.dst, edge.distance,
+                              edge.operand_index)
+
+    mapping = Mapping(dfg=stitched, cgra=cgra, ii=ii)
+    for node_id in dfg.node_ids:
+        t = flat[node_id]
+        mapping.placements[node_id] = Placement(node_id, base_pe[node_id],
+                                                t % ii, t // ii)
+    for route_id, (pe, t) in route_placements.items():
+        mapping.placements[route_id] = Placement(route_id, pe, t % ii, t // ii)
+    return StitchResult(
+        mapping=mapping, offsets=list(offsets), route_chains=route_chains,
+    )
+
+
+def _insert_relays(
+    cgra: CGRA,
+    occupied: set[tuple[int, int]],
+    path: list[tuple[int, int]],
+    src_pe: int,
+    dst_pe: int,
+    ready: int,
+    deadline: int,
+    ii: int,
+) -> None:
+    """Append relay hops so no chain value waits longer than one II window.
+
+    A value that sits in a register file for ``w`` flat cycles needs about
+    ``w / II`` simultaneously-live copies, so a cut value parked at the
+    last hop until a far deadline is exactly what overflows a border PE's
+    register file.  Relays break the wait into <= II-cycle legs: each one
+    re-materialises the value on the same PE (or a neighbour still adjacent
+    to the consumer) at a later kernel slot.  Saturated slots end the
+    extension early — the long wait then stays and register allocation gets
+    to veto it, which the II-negotiation loop treats like any other repair.
+
+    ``path`` is extended in place; slots are claimed in ``occupied``.
+    """
+    if path:
+        anchor_pe, anchor_t = path[-1]
+        available = anchor_t + 1
+    else:
+        anchor_pe, available = src_pe, ready
+    routable = set(cgra.capable_pes("alu"))
+    while deadline + 1 - available > ii:
+        candidates = [anchor_pe] + [
+            nbr
+            for nbr in cgra.neighbours(anchor_pe, include_self=False)
+            if nbr in routable and cgra.distance(nbr, dst_pe) <= 1
+        ]
+        slot: tuple[int, int] | None = None
+        # Latest slot inside the window makes the most progress per relay.
+        for t in range(available + ii - 1, available - 1, -1):
+            for pe in candidates:
+                if (pe, t % ii) not in occupied:
+                    slot = (pe, t)
+                    break
+            if slot is not None:
+                break
+        if slot is None or slot[1] + 1 <= available:
+            break  # no progress possible; leave the long wait in place
+        path.append(slot)
+        occupied.add((slot[0], slot[1] % ii))
+        anchor_pe, available = slot[0], slot[1] + 1
+
+
+def _find_route(
+    cgra: CGRA,
+    occupied: set[tuple[int, int]],
+    src_pe: int,
+    dst_pe: int,
+    ready: int,
+    deadline: int,
+    ii: int,
+) -> list[tuple[int, int]] | int:
+    """Earliest-arrival route from ``src_pe``'s neighbourhood to ``dst_pe``.
+
+    Time-expanded Dijkstra over ``(PE, flat time)``: the value is readable
+    from ``src_pe`` at ``ready``; a ROUTE node on a neighbouring PE may pick
+    it up at any free slot at or after that (values persist in register
+    files, so waiting is free) and re-exposes it one cycle later.  The
+    search succeeds when the value is readable from a neighbour of
+    ``dst_pe`` (or ``dst_pe`` itself) no later than ``deadline``.  Returns
+    the ``(pe, flat_time)`` chain of ROUTE placements, or — when no chain
+    meets the deadline — the integer shortfall (extra cycles needed, always
+    >= 1) for the caller's offset-relaxation loop.
+
+    Route hops claim real kernel slots, so only ALU-capable PEs qualify.
+    """
+    routable = set(cgra.capable_pes("alu"))
+    # earliest[pe] = earliest flat time the value is readable *from* pe.
+    earliest: dict[int, int] = {src_pe: ready}
+    parents: dict[int, tuple[int, int] | None] = {src_pe: None}
+    queue: list[tuple[int, int]] = [(ready, src_pe)]
+    best_finish: int | None = None
+    best_pe: int | None = None
+    while queue:
+        available, pe = heapq.heappop(queue)
+        if available > earliest.get(pe, float("inf")):
+            continue
+        if cgra.distance(pe, dst_pe) <= 1:
+            if best_finish is None or available < best_finish:
+                best_finish, best_pe = available, pe
+            # Dijkstra pops in earliest-availability order; the first goal
+            # reached is optimal.
+            break
+        for nbr in cgra.neighbours(pe, include_self=False):
+            if nbr not in routable:
+                continue
+            # Earliest free slot at nbr at or after ``available``: scanning
+            # one full II window covers every kernel cycle.
+            slot_time: int | None = None
+            for t in range(available, available + ii):
+                if (nbr, t % ii) not in occupied:
+                    slot_time = t
+                    break
+            if slot_time is None:
+                continue  # nbr fully occupied at every kernel cycle
+            arrival = slot_time + 1
+            if arrival < earliest.get(nbr, float("inf")):
+                earliest[nbr] = arrival
+                parents[nbr] = (pe, slot_time)
+                heapq.heappush(queue, (arrival, nbr))
+    if best_pe is None:
+        # No chain exists at any time — the fabric region is saturated.
+        # Report a one-II shortfall: more offset shifts the window, and the
+        # caller's rounds are bounded before it escalates to a larger II.
+        return ii
+    if best_finish > deadline:
+        return best_finish - deadline
+    # Walk parents back from best_pe to src_pe, collecting ROUTE slots.
+    path: list[tuple[int, int]] = []
+    cursor = best_pe
+    while parents[cursor] is not None:
+        prev_pe, slot_time = parents[cursor]
+        path.append((cursor, slot_time))
+        cursor = prev_pe
+    path.reverse()
+    return path

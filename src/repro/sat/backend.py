@@ -100,25 +100,39 @@ class SolverBackend(Protocol):
     stats: BackendStats
 
     @property
-    def num_vars(self) -> int: ...
+    def num_vars(self) -> int:
+        """Number of variables allocated so far."""
+        ...
 
-    def new_var(self) -> int: ...
+    def new_var(self) -> int:
+        """Allocate and return one fresh variable."""
+        ...
 
-    def new_vars(self, count: int) -> list[int]: ...
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables in one call."""
+        ...
 
-    def add_clause(self, literals: Sequence[int]) -> None: ...
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add one clause to the persistent formula."""
+        ...
 
     def add_clauses(
         self,
         clauses: Iterable[Sequence[int]],
         trusted: bool = False,
         guard: int | None = None,
-    ) -> None: ...
+    ) -> None:
+        """Bulk clause ingestion; see :meth:`CDCLBackend.add_clauses`."""
+        ...
 
-    def freeze(self, variables: Iterable[int]) -> None: ...
+    def freeze(self, variables: Iterable[int]) -> None:
+        """Protect variables from elimination by simplifying engines."""
+        ...
 
     @property
-    def retired_vars(self) -> frozenset[int]: ...
+    def retired_vars(self) -> frozenset[int]:
+        """Variables the engine has eliminated from the formula."""
+        ...
 
     def solve(
         self,
@@ -126,7 +140,9 @@ class SolverBackend(Protocol):
         conflict_limit: int | None = None,
         time_limit: float | None = None,
         model_vars: Iterable[int] | None = None,
-    ) -> SolverResult: ...
+    ) -> SolverResult:
+        """Decide the current formula under the given assumption cube."""
+        ...
 
 
 class CDCLBackend:
@@ -154,9 +170,11 @@ class CDCLBackend:
 
     @property
     def num_vars(self) -> int:
+        """Number of variables allocated in the live solver."""
         return self._solver.num_vars
 
     def new_var(self) -> int:
+        """Allocate one fresh solver variable."""
         self.stats.variables_added += 1
         return self._solver.new_var()
 
@@ -166,6 +184,7 @@ class CDCLBackend:
         return self._solver.new_vars(count)
 
     def add_clause(self, literals: Sequence[int]) -> None:
+        """Add one clause to the incremental solver."""
         self.stats.clauses_added += 1
         self._solver.add_clause(literals)
 
@@ -192,6 +211,7 @@ class CDCLBackend:
 
     @property
     def retired_vars(self) -> frozenset[int]:
+        """Always empty: this engine never eliminates variables."""
         return frozenset()
 
     def solve(
@@ -201,6 +221,7 @@ class CDCLBackend:
         time_limit: float | None = None,
         model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
+        """Decide the formula under ``assumptions``, folding run stats."""
         result = self._solver.solve(
             assumptions=assumptions,
             conflict_limit=conflict_limit,
@@ -239,6 +260,7 @@ class DPLLBackend:
 
     @property
     def num_vars(self) -> int:
+        """Number of variables in the accumulated CNF."""
         return self._cnf.num_vars
 
     @property
@@ -247,14 +269,17 @@ class DPLLBackend:
         return self._cnf
 
     def new_var(self) -> int:
+        """Allocate one fresh CNF variable."""
         self.stats.variables_added += 1
         return self._cnf.new_var()
 
     def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh CNF variables."""
         self.stats.variables_added += count
         return self._cnf.new_vars(count)
 
     def add_clause(self, literals: Sequence[int]) -> None:
+        """Append one clause to the accumulated CNF."""
         self.stats.clauses_added += 1
         self._cnf.add_clause(literals)
 
@@ -264,8 +289,11 @@ class DPLLBackend:
         trusted: bool = False,
         guard: int | None = None,
     ) -> None:
-        # ``trusted``/``guard`` are accepted for interface parity; the CNF
-        # container's own (cheap) validation always runs.
+        """Append clauses one by one.
+
+        ``trusted``/``guard`` are accepted for interface parity; the CNF
+        container's own (cheap) validation always runs.
+        """
         for clause in clauses:
             self.add_clause(clause)
 
@@ -274,6 +302,7 @@ class DPLLBackend:
 
     @property
     def retired_vars(self) -> frozenset[int]:
+        """Always empty: this engine never eliminates variables."""
         return frozenset()
 
     def solve(
@@ -283,6 +312,7 @@ class DPLLBackend:
         time_limit: float | None = None,
         model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
+        """Replay the accumulated CNF through the DPLL oracle."""
         start = time.perf_counter()
         solver = DPLLSolver(max_decisions=conflict_limit)
         stats = SolverStats()

@@ -261,6 +261,7 @@ class SubprocessBackend:
     # -- formula accumulation (CNF-compatible surface) ------------------
     @property
     def num_vars(self) -> int:
+        """Number of variables in the accumulated CNF."""
         return self._cnf.num_vars
 
     @property
@@ -269,14 +270,17 @@ class SubprocessBackend:
         return self._cnf
 
     def new_var(self) -> int:
+        """Allocate one fresh CNF variable."""
         self.stats.variables_added += 1
         return self._cnf.new_var()
 
     def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh CNF variables."""
         self.stats.variables_added += count
         return self._cnf.new_vars(count)
 
     def add_clause(self, literals: Sequence[int]) -> None:
+        """Append one clause to the accumulated CNF."""
         self.stats.clauses_added += 1
         self._cnf.add_clause(literals)
 
@@ -286,6 +290,7 @@ class SubprocessBackend:
         trusted: bool = False,
         guard: int | None = None,
     ) -> None:
+        """Append clauses one by one (``trusted``/``guard`` are parity-only)."""
         for clause in clauses:
             self.add_clause(clause)
 
@@ -294,6 +299,7 @@ class SubprocessBackend:
 
     @property
     def retired_vars(self) -> frozenset[int]:
+        """Always empty: the export layer never eliminates variables."""
         return frozenset()
 
     def proof_digest(self) -> str | None:
@@ -308,6 +314,7 @@ class SubprocessBackend:
         time_limit: float | None = None,
         model_vars: Iterable[int] | None = None,
     ) -> SolverResult:
+        """Export formula + cube as DIMACS and run the external binary."""
         start = time.perf_counter()
         cube = [int(lit) for lit in assumptions]
         cnf_path = self._export(cube)

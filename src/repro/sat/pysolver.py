@@ -35,6 +35,7 @@ _MODEL_LITS_PER_LINE = 20
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Solve a DIMACS file and print a competition-format answer."""
     argv = sys.argv[1:] if argv is None else argv
     conflicts: int | None = None
     seed: int | None = None

@@ -42,6 +42,7 @@ class BisectionStrategy(SearchStrategy):
     name = "bisect"
 
     def search(self, ctx: SearchContext) -> SearchResult | None:
+        """Bisect the II range using UNSAT answers as lower bounds."""
         backend = ctx.make_backend()
         best: SearchResult | None = None
         visited: set[int] = set()

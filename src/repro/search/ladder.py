@@ -26,6 +26,7 @@ class LadderStrategy(SearchStrategy):
     name = "ladder"
 
     def search(self, ctx: SearchContext) -> SearchResult | None:
+        """Climb IIs sequentially from the MII (the paper's strategy)."""
         seed = ctx.seed
         if seed is not None and seed.ii <= ctx.first_ii:
             return seed

@@ -137,9 +137,11 @@ class Job:
 
     @property
     def finished(self) -> bool:
+        """Whether the job reached a terminal status."""
         return self.status in _FINISHED
 
     def to_payload(self) -> dict:
+        """JSON-ready job view served by ``GET /jobs/<id>``."""
         end = self.finished_at or time.time()
         payload: dict[str, Any] = {
             "job": self.id,
@@ -184,6 +186,7 @@ class ServiceStats:
     })
 
     def fold_cache(self, stats: dict | None) -> None:
+        """Fold one solve's cache counters into the running totals."""
         if not stats:
             return
         for name in self.cache:
@@ -191,6 +194,7 @@ class ServiceStats:
 
     @property
     def hit_rate(self) -> float | None:
+        """Cache hit ratio over all lookups, or ``None`` before any."""
         looked_up = self.cache["hits"] + self.cache["misses"]
         if not looked_up:
             return None
@@ -442,6 +446,7 @@ class JobManager:
 
     # ------------------------------------------------------------------
     def get(self, job_id: str) -> Job | None:
+        """Look up a job by id (``None`` for unknown ids)."""
         return self.jobs.get(job_id)
 
     def cancel(self, job_id: str) -> Job | None:

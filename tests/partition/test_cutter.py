@@ -1,0 +1,150 @@
+"""Tests for the DFG partitioner (balanced edge-cut, recurrences intact)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.graph import DFG, paper_running_example
+from repro.exceptions import DFGError
+from repro.kernels import get_kernel, random_dfg
+from repro.partition import PartitionPlan, partition_dfg
+from repro.partition.cutter import PARTITION_STRATEGIES, _strongly_connected
+
+
+def chain(n):
+    return DFG.from_edge_list("chain", n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestBasicInvariants:
+    def test_covers_every_node_exactly_once(self):
+        dfg = get_kernel("gsm")
+        plan = partition_dfg(dfg, 3)
+        seen = [node for part in plan.partitions for node in part]
+        assert sorted(seen) == sorted(dfg.node_ids)
+
+    def test_cut_edges_point_forward(self):
+        dfg = get_kernel("sha")
+        plan = partition_dfg(dfg, 4)
+        assert plan.cut_edges  # sha has cross-partition dependencies
+        for cut in plan.cut_edges:
+            assert cut.src_partition < cut.dst_partition
+
+    def test_assignment_is_inverse_of_partitions(self):
+        plan = partition_dfg(get_kernel("bitcount"), 2)
+        for index, part in enumerate(plan.partitions):
+            for node_id in part:
+                assert plan.assignment[node_id] == index
+                assert plan.partition_of(node_id) == index
+
+    def test_recurrence_cycles_stay_in_one_partition(self):
+        dfg = get_kernel("bitcount")  # has an accumulator recurrence
+        plan = partition_dfg(dfg, 2)
+        for component in _strongly_connected(dfg):
+            owners = {plan.assignment[node] for node in component}
+            assert len(owners) == 1
+
+    def test_single_partition_is_identity(self):
+        dfg = get_kernel("nw")
+        plan = partition_dfg(dfg, 1)
+        assert plan.num_partitions == 1
+        assert plan.cut_size == 0
+        assert sorted(plan.partitions[0]) == sorted(dfg.node_ids)
+
+    def test_validate_passes_on_fresh_plan(self):
+        dfg = paper_running_example()
+        plan = partition_dfg(dfg, 2)
+        plan.validate(dfg)  # must not raise
+
+    def test_chain_partitions_are_contiguous_and_balanced(self):
+        plan = partition_dfg(chain(12), 4)
+        sizes = [len(part) for part in plan.partitions]
+        assert sizes == [3, 3, 3, 3]
+        assert plan.cut_size == 3  # one cut edge per boundary
+        assert plan.balance == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_more_partitions_than_supernodes(self):
+        with pytest.raises(DFGError, match="supernodes"):
+            partition_dfg(chain(3), 4)
+
+    def test_zero_partitions(self):
+        with pytest.raises(DFGError, match="at least one"):
+            partition_dfg(chain(3), 0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(DFGError, match="strategy"):
+            partition_dfg(chain(4), 2, strategy="metis")
+
+    def test_validate_rejects_backwards_cut(self):
+        dfg = chain(4)
+        plan = partition_dfg(dfg, 2)
+        for cut in plan.cut_edges:
+            object.__setattr__(cut, "src_partition", 1)
+            object.__setattr__(cut, "dst_partition", 0)
+        with pytest.raises(DFGError, match="backwards"):
+            plan.validate(dfg)
+
+    def test_validate_rejects_missing_node(self):
+        dfg = chain(4)
+        plan = partition_dfg(dfg, 2)
+        plan.partitions[0].remove(0)
+        del plan.assignment[0]
+        with pytest.raises(DFGError, match="cover"):
+            plan.validate(dfg)
+
+
+class TestStrategies:
+    def test_refine_never_worse_than_topo(self):
+        for name in ("sha", "gsm", "patricia", "backprop"):
+            dfg = get_kernel(name)
+            topo = partition_dfg(dfg, 3, strategy="topo")
+            refined = partition_dfg(dfg, 3, strategy="refine")
+            assert refined.cut_size <= topo.cut_size
+            refined.validate(dfg)
+
+    def test_strategies_tuple_matches_cli_choices(self):
+        assert PARTITION_STRATEGIES == ("topo", "refine")
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_key_facts(self):
+        plan = partition_dfg(get_kernel("gsm"), 2)
+        data = plan.to_dict()
+        assert data["cut_size"] == plan.cut_size
+        assert data["strategy"] == "topo"
+        assert len(data["partitions"]) == 2
+        assert all(
+            cut["src_partition"] < cut["dst_partition"]
+            for cut in data["cut_edges"]
+        )
+
+    def test_summary_mentions_sizes_and_cut(self):
+        plan = partition_dfg(get_kernel("gsm"), 2)
+        text = plan.summary()
+        assert "2 partitions" in text
+        assert "cut edges" in text
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=6, max_value=40),
+    num_partitions=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy=st.sampled_from(PARTITION_STRATEGIES),
+)
+def test_random_dfg_plans_always_validate(num_nodes, num_partitions, seed, strategy):
+    """Any plan the cutter produces passes its own structural invariants."""
+    dfg = random_dfg(num_nodes, seed=seed)
+    try:
+        plan = partition_dfg(dfg, num_partitions, strategy=strategy)
+    except DFGError:
+        # Legal outcome: recurrences may leave fewer supernodes than
+        # requested partitions.
+        supers = len(_strongly_connected(dfg))
+        assert supers < num_partitions or supers == 1
+        return
+    assert isinstance(plan, PartitionPlan)
+    plan.validate(dfg)
+    assert plan.num_partitions == num_partitions
+    assert all(part for part in plan.partitions)  # no empty partitions

@@ -1,0 +1,147 @@
+"""End-to-end tests for the partition-and-stitch mapping driver."""
+
+import dataclasses
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.topology import Topology
+from repro.core.encoder import EncoderConfig, MappingEncoder
+from repro.core.mapper import MapperConfig, SatMapItMapper
+from repro.dfg.graph import paper_running_example
+from repro.exceptions import EncodingError, MappingError
+from repro.kernels import get_kernel
+from repro.partition import PartitionConfig, PartitionMapper
+
+
+class TestPartitionMapperEndToEnd:
+    def test_running_example_partitioned_on_4x4(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=2, timeout=120)
+        ).map(paper_running_example(), CGRA.square(4))
+        assert outcome.success
+        assert outcome.validated
+        assert outcome.ii >= outcome.minimum_ii
+        assert outcome.mapping.violations() == []
+        assert outcome.num_partitions == 2
+        assert len(outcome.stitch.offsets) == 2
+        assert outcome.final_status == "mapped"
+
+    def test_single_partition_degenerates_to_whole_fabric(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=1, timeout=120)
+        ).map(get_kernel("srand"), CGRA.square(4))
+        assert outcome.success
+        assert outcome.stitch.num_route_nodes == 0
+        assert outcome.stitch.offsets == [0]
+
+    def test_partition_outcomes_recorded_per_partition(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=2, timeout=120)
+        ).map(get_kernel("gsm"), CGRA.square(4))
+        assert outcome.success
+        assert len(outcome.partition_outcomes) == 2
+        assert all(sub.success for sub in outcome.partition_outcomes)
+        assert all(sub.ii == outcome.ii for sub in outcome.partition_outcomes)
+
+    def test_validation_can_be_skipped(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=2, timeout=120,
+                            validate_iterations=0)
+        ).map(get_kernel("srand"), CGRA.square(4))
+        assert outcome.success
+        assert not outcome.validated
+
+    def test_summary_mentions_partitions_and_ii(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=2, timeout=120)
+        ).map(get_kernel("srand"), CGRA.square(4))
+        text = outcome.summary()
+        assert "2 partitions" in text
+        assert f"II={outcome.ii}" in text
+
+
+class TestPartitionMapperErrors:
+    def test_torus_fabric_raises_mapping_error(self):
+        cgra = CGRA(rows=4, cols=4, topology=Topology.TORUS)
+        with pytest.raises(MappingError, match="mesh"):
+            PartitionMapper(PartitionConfig(num_partitions=2)).map(
+                get_kernel("srand"), cgra
+            )
+
+    def test_too_many_partitions_raises(self):
+        with pytest.raises(MappingError):
+            PartitionMapper(PartitionConfig(num_partitions=12)).map(
+                get_kernel("srand"), CGRA.square(4)
+            )
+
+    def test_budget_exhaustion_returns_failed_outcome(self):
+        outcome = PartitionMapper(
+            PartitionConfig(num_partitions=2, max_ii=2, timeout=120)
+        ).map(get_kernel("bitcount"), CGRA.square(4))
+        assert not outcome.success
+        assert outcome.final_status == "failed"
+        assert outcome.repair_log  # the negotiation trace explains why
+
+
+class TestPlacementDomainPlumbing:
+    """The encoder/mapper hook the partition sub-solves ride on."""
+
+    def test_domain_restricts_placement(self):
+        dfg = paper_running_example()
+        cgra = CGRA.square(3)
+        domains = tuple(
+            (node_id, (0, 1, 2)) for node_id in dfg.node_ids
+        )
+        outcome = SatMapItMapper(
+            MapperConfig(placement_domains=domains)
+        ).map(dfg, cgra)
+        assert outcome.success
+        used = {p.pe for p in outcome.mapping.placements.values()}
+        assert used <= {0, 1, 2}
+
+    def test_empty_intersection_raises_encoding_error(self):
+        from repro.core.mobility import KernelMobilitySchedule, MobilitySchedule
+
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        kms = KernelMobilitySchedule.build(MobilitySchedule.build(dfg), 3)
+        config = EncoderConfig(placement_domains=((1, ()),))
+        with pytest.raises(EncodingError, match="excludes every capable PE"):
+            MappingEncoder(dfg, cgra, kms, config)
+
+    def test_domains_disable_symmetry_breaking(self):
+        """Pinning a node to one PE must never be 'broken' away."""
+        dfg = paper_running_example()
+        cgra = CGRA.square(3)
+        # Pin node 1 to the last PE — symmetry breaking would anchor the
+        # fundamental domain elsewhere and make this UNSAT.
+        outcome = SatMapItMapper(
+            MapperConfig(placement_domains=((1, (8,)),))
+        ).map(dfg, cgra)
+        assert outcome.success
+        assert outcome.mapping.placements[1].pe == 8
+
+    def test_domains_are_part_of_the_cache_key(self, tmp_path):
+        from repro.search.cache import MappingCache
+
+        dfg = paper_running_example()
+        cgra = CGRA.square(2)
+        cache = MappingCache(str(tmp_path))
+        free = MapperConfig(cache_dir=str(tmp_path))
+        pinned = dataclasses.replace(
+            free, placement_domains=((1, (1, 2)),)
+        )
+        assert cache.key(dfg, cgra, free) != cache.key(dfg, cgra, pinned)
+
+    def test_seed_heuristic_disabled_under_domains(self):
+        dfg = paper_running_example()
+        outcome = SatMapItMapper(
+            MapperConfig(
+                seed_heuristic=True,
+                placement_domains=((1, (0, 1, 2, 3)),),
+            )
+        ).map(dfg, CGRA.square(2))
+        assert outcome.success
+        # The heuristic pre-pass is not domain-aware; it must not run.
+        assert outcome.seed_ii is None

@@ -1,0 +1,125 @@
+"""Tests for fabric slicing and border-pinning placement domains."""
+
+import pytest
+
+from repro.cgra.architecture import CGRA
+from repro.cgra.topology import Topology
+from repro.exceptions import ArchitectureError
+from repro.kernels import get_kernel
+from repro.partition import boundary_domains, partition_dfg, slice_fabric
+
+
+class TestSliceFabric:
+    def test_strips_tile_the_fabric(self):
+        cgra = CGRA.square(8)
+        regions = slice_fabric(cgra, [10, 10])
+        assert [r.num_rows for r in regions] == [4, 4]
+        assert regions[0].row_start == 0
+        assert regions[1].row_start == regions[0].row_end
+        covered = [pe for r in regions for pe in r.to_global]
+        assert sorted(covered) == list(range(cgra.num_pes))
+
+    def test_rows_proportional_to_weights(self):
+        regions = slice_fabric(CGRA.square(8), [30, 10])
+        assert regions[0].num_rows == 6
+        assert regions[1].num_rows == 2
+
+    def test_every_region_gets_at_least_one_row(self):
+        regions = slice_fabric(CGRA.square(4), [100, 1, 1])
+        assert all(r.num_rows >= 1 for r in regions)
+        assert sum(r.num_rows for r in regions) == 4
+
+    def test_sub_cgra_preserves_shape_and_registers(self):
+        cgra = CGRA(rows=6, cols=5, registers_per_pe=7)
+        regions = slice_fabric(cgra, [1, 1])
+        for region in regions:
+            sub = region.sub_cgra
+            assert sub.cols == 5
+            assert sub.rows == region.num_rows
+            assert sub.registers_per_pe == 7
+            assert sub.num_pes == region.num_pes
+
+    def test_sub_cgra_preserves_capability_classes(self):
+        from repro.cgra.presets import get_arch_preset
+
+        cgra = get_arch_preset("mem_edge_4x4")
+        regions = slice_fabric(cgra, [1, 1])
+        for region in regions:
+            for local, global_pe in enumerate(region.to_global):
+                assert (
+                    region.sub_cgra.pe(local).capabilities
+                    == cgra.pe(global_pe).capabilities
+                )
+
+    def test_local_global_maps_are_inverse(self):
+        regions = slice_fabric(CGRA.square(6), [1, 2, 3])
+        for region in regions:
+            for local, global_pe in enumerate(region.to_global):
+                assert region.to_local(global_pe) == local
+
+    def test_borders_are_first_and_last_rows(self):
+        cgra = CGRA.square(4)
+        region = slice_fabric(cgra, [1, 1])[1]  # rows 2-3
+        assert region.north_border() == (8, 9, 10, 11)
+        assert region.south_border() == (12, 13, 14, 15)
+
+    def test_torus_is_rejected(self):
+        cgra = CGRA(rows=4, cols=4, topology=Topology.TORUS)
+        with pytest.raises(ArchitectureError, match="mesh"):
+            slice_fabric(cgra, [1, 1])
+
+    def test_too_many_regions_for_rows(self):
+        with pytest.raises(ArchitectureError, match="rows"):
+            slice_fabric(CGRA.square(2), [1, 1, 1])
+
+
+class TestBoundaryDomains:
+    def test_producers_pinned_to_south_consumers_to_north(self):
+        dfg = get_kernel("gsm")
+        plan = partition_dfg(dfg, 2)
+        regions = slice_fabric(CGRA.square(4), [len(p) for p in plan.partitions])
+        domains = boundary_domains(plan, regions)
+        south0 = set(regions[0].local_row(regions[0].south_border()))
+        north1 = set(regions[1].local_row(regions[1].north_border()))
+        producers = {c.edge.src for c in plan.cut_edges}
+        consumers = {c.edge.dst for c in plan.cut_edges}
+        dom0 = dict(domains[0])
+        dom1 = dict(domains[1])
+        for node in producers:
+            assert set(dom0[node]) <= south0
+        for node in consumers:
+            assert set(dom1[node]) <= north1
+
+    def test_only_cut_endpoints_are_restricted(self):
+        dfg = get_kernel("gsm")
+        plan = partition_dfg(dfg, 2)
+        regions = slice_fabric(CGRA.square(4), [len(p) for p in plan.partitions])
+        domains = boundary_domains(plan, regions)
+        cut_nodes = {c.edge.src for c in plan.cut_edges} | {
+            c.edge.dst for c in plan.cut_edges
+        }
+        restricted = {node for dom in domains for node, _ in dom}
+        assert restricted == cut_nodes
+
+    def test_domains_never_empty(self):
+        for name in ("sha", "bitcount", "backprop"):
+            plan = partition_dfg(get_kernel(name), 3)
+            regions = slice_fabric(
+                CGRA.square(6), [len(p) for p in plan.partitions]
+            )
+            for dom in boundary_domains(plan, regions):
+                for _, allowed in dom:
+                    assert allowed
+
+    def test_middle_partition_uses_both_borders(self):
+        """A node producing to p+1 and consuming from p-1 may use either."""
+        dfg = get_kernel("sha")
+        plan = partition_dfg(dfg, 3)
+        regions = slice_fabric(CGRA.square(6), [len(p) for p in plan.partitions])
+        domains = boundary_domains(plan, regions)
+        mid = regions[1]
+        both = set(mid.local_row(mid.north_border())) | set(
+            mid.local_row(mid.south_border())
+        )
+        for node, allowed in domains[1]:
+            assert set(allowed) <= both

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository's documentation.
+
+Validates every ``[text](target)`` link in the given Markdown files:
+
+* **relative file links** (``DESIGN.md``, ``docs/ARCHITECTURE.md#sat``)
+  must point at an existing file, resolved against the linking file's
+  directory, and any ``#fragment`` must match a heading anchor in the
+  target (GitHub anchor rules: lowercase, punctuation stripped, spaces
+  to dashes);
+* **intra-file anchors** (``#quickstart``) must match a heading in the
+  same file;
+* **external links** (``http://``/``https://``/``mailto:``) are *not*
+  fetched — CI must not fail on someone else's outage — but their URL
+  syntax is sanity-checked.
+
+Exit status 1 lists every broken link with file and line number.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md DESIGN.md docs/*.md
+    python tools/check_markdown_links.py          # the default doc set
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files checked when no arguments are given.
+DEFAULT_DOCS = ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md")
+
+#: ``[text](target)`` — target may carry an optional ``#fragment``; image
+#: links (``![alt](src)``) are matched too (same resolution rules).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
+
+
+def github_anchor(heading: str) -> str:
+    """Reduce a heading to its GitHub-style anchor id."""
+    # Inline code/emphasis markers vanish; punctuation is stripped;
+    # spaces become dashes.  This matches GitHub's slugger for the ASCII
+    # headings this repository uses.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _lines_outside_fences(text: str) -> list[tuple[int, str]]:
+    """``(line_number, line)`` pairs, skipping fenced code blocks."""
+    kept: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append((number, line))
+    return kept
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All heading anchors of a Markdown file (memoised)."""
+    if path not in cache:
+        found: set[str] = set()
+        counts: dict[str, int] = {}
+        for _, line in _lines_outside_fences(path.read_text(encoding="utf-8")):
+            match = _HEADING.match(line)
+            if not match:
+                continue
+            anchor = github_anchor(match.group(1))
+            # GitHub deduplicates repeated headings with -1, -2, ... suffixes.
+            seen = counts.get(anchor, 0)
+            counts[anchor] = seen + 1
+            found.add(anchor if seen == 0 else f"{anchor}-{seen}")
+        cache[path] = found
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict[Path, set[str]]) -> list[str]:
+    """Return a list of broken-link descriptions for one Markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for number, line in _lines_outside_fences(text):
+        # Inline code spans may hold example links that are not promises.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK.finditer(stripped):
+            target = match.group(1)
+            where = f"{path.relative_to(REPO_ROOT)}:{number}"
+            if _EXTERNAL.match(target):
+                if not re.match(r"^(https?://\S+|mailto:\S+@\S+)$", target):
+                    problems.append(f"{where}: malformed external URL {target!r}")
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    problems.append(f"{where}: missing file {base!r}")
+                    continue
+            else:
+                resolved = path
+            if fragment:
+                if resolved.suffix.lower() not in (".md", ".markdown"):
+                    continue  # anchors into non-Markdown files: not checkable
+                if fragment not in anchors_of(resolved, cache):
+                    problems.append(
+                        f"{where}: no heading for anchor "
+                        f"#{fragment} in {resolved.name}"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="Markdown files to check (default: README.md, "
+                             "DESIGN.md, ROADMAP.md, CHANGES.md and docs/*.md)")
+    args = parser.parse_args(argv)
+
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+    else:
+        paths = [REPO_ROOT / name for name in DEFAULT_DOCS]
+        paths += sorted((REPO_ROOT / "docs").glob("*.md"))
+    paths = [p for p in paths if p.exists()]
+    if not paths:
+        print("error: no Markdown files to check", file=sys.stderr)
+        return 2
+
+    cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    checked_links = 0
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        checked_links += sum(
+            len(_LINK.findall(re.sub(r"`[^`]*`", "", line)))
+            for _, line in _lines_outside_fences(text)
+        )
+        problems.extend(check_file(path, cache))
+
+    print(f"checked {checked_links} link(s) across {len(paths)} file(s)")
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for ``src/repro/``.
+
+Counts public definitions (modules, classes, functions and methods whose
+names do not start with ``_``) and how many of them carry a docstring,
+then fails if the overall ratio drops below the threshold (default 80%).
+CI runs this so documentation debt cannot accumulate silently: new code
+either ships with docstrings or moves the needle visibly.
+
+Deliberate exclusions, so the number measures *intent to document*:
+
+* private names (leading ``_``) — internal helpers document themselves
+  where it matters and are free not to;
+* ``__init__``/dunder methods — their contract is the class docstring's;
+* trivial overrides whose body is a bare ``...``/``pass`` *and* that
+  override a documented parent would still count; we keep the rule
+  simple and count them, which only makes the gate stricter.
+
+Usage::
+
+    python tools/docstring_coverage.py                 # gate at 80%
+    python tools/docstring_coverage.py --threshold 85
+    python tools/docstring_coverage.py --list-missing  # name every gap
+    python tools/docstring_coverage.py --by-module     # worst modules first
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+DEFAULT_THRESHOLD = 80.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _definitions(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """Yield ``(qualified_name, node)`` for every public def in a module."""
+    found: list[tuple[str, ast.AST]] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                if not _is_public(child.name):
+                    continue
+                qualified = f"{prefix}{child.name}"
+                found.append((qualified, child))
+                if isinstance(child, ast.ClassDef):
+                    walk(child, f"{qualified}.")
+
+    walk(tree, "")
+    return found
+
+
+def scan_file(path: Path) -> tuple[int, int, list[str]]:
+    """Return ``(documented, total, missing_names)`` for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    documented = 0
+    total = 1  # the module itself
+    missing: list[str] = []
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append("<module>")
+    for name, node in _definitions(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(name)
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                        help=f"package root to scan (default: {DEFAULT_ROOT})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="minimum overall coverage percentage "
+                             f"(default: {DEFAULT_THRESHOLD})")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every undocumented public definition")
+    parser.add_argument("--by-module", action="store_true",
+                        help="print per-module coverage, worst first")
+    args = parser.parse_args(argv)
+
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+
+    per_module: list[tuple[float, Path, int, int, list[str]]] = []
+    total_documented = total_defs = 0
+    for path in sorted(args.root.rglob("*.py")):
+        documented, total, missing = scan_file(path)
+        total_documented += documented
+        total_defs += total
+        pct = 100.0 * documented / total if total else 100.0
+        per_module.append((pct, path, documented, total, missing))
+
+    if not total_defs:
+        print(f"error: no Python files under {args.root}", file=sys.stderr)
+        return 2
+
+    coverage = 100.0 * total_documented / total_defs
+    if args.by_module:
+        for pct, path, documented, total, _ in sorted(per_module):
+            rel = path.relative_to(args.root.parent)
+            print(f"  {pct:6.1f}%  {documented:3d}/{total:<3d}  {rel}")
+    if args.list_missing:
+        for _, path, _, _, missing in sorted(per_module):
+            if not missing:
+                continue
+            rel = path.relative_to(args.root.parent)
+            for name in missing:
+                print(f"  {rel}: {name}")
+    print(f"docstring coverage: {total_documented}/{total_defs} "
+          f"public definitions ({coverage:.1f}%), threshold "
+          f"{args.threshold:.0f}%")
+    if coverage < args.threshold:
+        print("docstring coverage gate FAILED", file=sys.stderr)
+        return 1
+    print("docstring coverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
